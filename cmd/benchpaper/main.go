@@ -1,0 +1,67 @@
+// Command benchpaper regenerates the paper's evaluation: every table
+// (1, 2, 5–9) and figure (4–9), printed side by side with the paper's
+// reported numbers.
+//
+// Usage:
+//
+//	benchpaper -scale 0.1            # all experiments at 1/10 scale
+//	benchpaper -table 9              # just Table 9
+//	benchpaper -fig 8 -scale 0.05    # just Figure 8, smaller
+//
+// Absolute numbers differ from the paper (different machine, synthetic
+// data, an in-memory Go store instead of Oracle 12c); the shapes — who
+// wins, by roughly what factor — are the reproduction target. See
+// EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/twitter"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.1, "dataset scale relative to the paper (973 egos)")
+	table := flag.String("table", "", "run a single table (1,2,5,6,7,8,9)")
+	fig := flag.String("fig", "", "run a single figure (4,5,6,7,8,9)")
+	seed := flag.Int64("seed", 0, "override generator seed")
+	flag.Parse()
+
+	cfg := twitter.PaperConfig().Scale(*scale)
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	fmt.Fprintf(os.Stderr, "generating dataset (%d egos) and loading NG + SP stores...\n", cfg.Egos)
+	start := time.Now()
+	env, err := bench.Setup(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchpaper:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "setup done in %s (graph: %d nodes, %d edges; tag analogue %q on %d nodes)\n\n",
+		time.Since(start).Round(time.Millisecond), env.GraphStats.Vertices, env.GraphStats.Edges, env.Tag, env.TagNodeCount)
+
+	switch {
+	case *table != "":
+		run(env, "table"+*table)
+	case *fig != "":
+		run(env, "fig"+*fig)
+	default:
+		for _, t := range bench.AllExperiments(env) {
+			fmt.Println(t.String())
+		}
+	}
+}
+
+func run(env *bench.Env, id string) {
+	t, err := bench.Experiment(env, id)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchpaper:", err)
+		os.Exit(1)
+	}
+	fmt.Println(t.String())
+}

@@ -1,0 +1,373 @@
+// Command pgrdf is the CLI for the PG-as-RDF library. Subcommands:
+//
+//	convert  — transform relational property-graph data (edges.tsv +
+//	           objkvs.tsv) into N-Quads under a scheme (RF, NG or SP)
+//	query    — load converted or raw N-Quads data and run a SPARQL
+//	           query against it
+//	explain  — like query, but print the index access plan instead
+//	stats    — load data and print dataset + storage statistics
+//
+// Examples:
+//
+//	pgrdf convert -scheme NG -edges edges.tsv -kvs objkvs.tsv -o data.nq
+//	pgrdf query -data data.nq -q 'SELECT ?s WHERE { ?s ?p ?o } LIMIT 5'
+//	pgrdf explain -data data.nq -q "$(cat q.rq)"
+//	pgrdf stats -data data.nq
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"net/http"
+
+	"repro/internal/httpapi"
+	"repro/internal/ntriples"
+	"repro/internal/pg"
+	"repro/internal/pgrdf"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/store"
+	"repro/internal/turtle"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "convert":
+		err = runConvert(os.Args[2:])
+	case "query":
+		err = runQuery(os.Args[2:], false)
+	case "explain":
+		err = runQuery(os.Args[2:], true)
+	case "stats":
+		err = runStats(os.Args[2:])
+	case "traverse":
+		err = runTraverse(os.Args[2:])
+	case "serve":
+		err = runServe(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pgrdf:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: pgrdf <convert|query|explain|stats|traverse|serve> [flags]
+run "pgrdf <subcommand> -h" for flags`)
+	os.Exit(2)
+}
+
+func parseScheme(s string) (pgrdf.Scheme, error) {
+	switch strings.ToUpper(s) {
+	case "RF":
+		return pgrdf.RF, nil
+	case "NG":
+		return pgrdf.NG, nil
+	case "SP":
+		return pgrdf.SP, nil
+	default:
+		return 0, fmt.Errorf("unknown scheme %q (want RF, NG or SP)", s)
+	}
+}
+
+func runConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	scheme := fs.String("scheme", "NG", "PG-as-RDF scheme: RF, NG or SP")
+	edges := fs.String("edges", "edges.tsv", "Edges table (TSV)")
+	kvs := fs.String("kvs", "objkvs.tsv", "ObjKVs table (TSV)")
+	out := fs.String("o", "-", "output N-Quads file (- = stdout)")
+	prefix := fs.String("vertex-prefix", "v", "vertex IRI prefix (the paper's Twitter data uses n)")
+	fs.Parse(args)
+
+	s, err := parseScheme(*scheme)
+	if err != nil {
+		return err
+	}
+	g, err := loadRelational(*edges, *kvs)
+	if err != nil {
+		return err
+	}
+	vocab := pgrdf.DefaultVocabulary()
+	vocab.VertexPrefix = *prefix
+	conv := &pgrdf.Converter{Scheme: s, Vocab: vocab, Opts: pgrdf.DefaultOptions()}
+	ds := conv.Convert(g)
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	all := ds.All()
+	if strings.HasSuffix(*out, ".ttl") || strings.HasSuffix(*out, ".turtle") {
+		// Turtle cannot express named graphs: only RF and SP datasets
+		// (all default-graph) can be written this way.
+		triples := make([]rdf.Triple, 0, len(all))
+		for _, q := range all {
+			if !q.InDefaultGraph() {
+				return fmt.Errorf("the %s scheme emits named-graph quads; use N-Quads output instead of Turtle", s)
+			}
+			triples = append(triples, q.Triple())
+		}
+		prefixes := rdf.PrefixMap{"pg": vocab.VertexNS, "rel": vocab.RelNS, "key": vocab.KeyNS,
+			"rdf": rdf.RDFNS, "rdfs": rdf.RDFSNS, "xsd": rdf.XSDNS}
+		if err := turtle.Write(w, triples, prefixes); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "converted %d vertices, %d edges -> %d triples (%s, Turtle)\n",
+			g.NumVertices(), g.NumEdges(), len(triples), s)
+		return nil
+	}
+	nw := ntriples.NewWriter(w)
+	if err := nw.WriteAll(all); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "converted %d vertices, %d edges -> %d quads (%s)\n",
+		g.NumVertices(), g.NumEdges(), nw.Count(), s)
+	return nil
+}
+
+func loadRelational(edgesPath, kvsPath string) (*pg.Graph, error) {
+	ef, err := os.Open(edgesPath)
+	if err != nil {
+		return nil, err
+	}
+	defer ef.Close()
+	edges, err := pg.ReadEdges(ef)
+	if err != nil {
+		return nil, err
+	}
+	kf, err := os.Open(kvsPath)
+	if err != nil {
+		return nil, err
+	}
+	defer kf.Close()
+	kvRows, err := pg.ReadObjKVs(kf)
+	if err != nil {
+		return nil, err
+	}
+	return pg.FromRelational(&pg.Relational{Edges: edges, ObjKVs: kvRows})
+}
+
+// loadStore loads an RDF file (N-Quads/N-Triples by default, Turtle for
+// .ttl files) into a fresh store under the model name "data".
+func loadStore(dataPath, indexes string) (*store.Store, error) {
+	specs := store.DefaultIndexes
+	if indexes != "" {
+		specs = strings.Split(indexes, ",")
+	}
+	st, err := store.NewWithIndexes(specs)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(dataPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var quads []rdf.Quad
+	if strings.HasSuffix(dataPath, ".ttl") || strings.HasSuffix(dataPath, ".turtle") {
+		triples, err := turtle.Parse(f)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range triples {
+			quads = append(quads, rdf.TripleQuad(t))
+		}
+	} else {
+		quads, err = ntriples.NewReader(f).ReadAll()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := st.Load("data", quads); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func runQuery(args []string, explain bool) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	data := fs.String("data", "", "N-Quads data file")
+	queryText := fs.String("q", "", "SPARQL query text (@file to read from a file)")
+	indexes := fs.String("indexes", "PCSGM,PSCGM,SPCGM,GSPCM", "comma-separated semantic network indexes")
+	limit := fs.Int("print", 100, "max rows to print")
+	fs.Parse(args)
+	if *data == "" || *queryText == "" {
+		return fmt.Errorf("query requires -data and -q")
+	}
+	q := *queryText
+	if strings.HasPrefix(q, "@") {
+		b, err := os.ReadFile(q[1:])
+		if err != nil {
+			return err
+		}
+		q = string(b)
+	}
+	st, err := loadStore(*data, *indexes)
+	if err != nil {
+		return err
+	}
+	eng := sparql.NewEngine(st)
+	if explain {
+		plan, err := eng.Explain("data", q)
+		if err != nil {
+			return err
+		}
+		fmt.Print(plan)
+		return nil
+	}
+	res, err := eng.Query("data", q)
+	if err != nil {
+		return err
+	}
+	fmt.Println(strings.Join(res.Vars, "\t"))
+	for i, row := range res.Rows {
+		if i >= *limit {
+			fmt.Printf("... (%d more rows)\n", res.Len()-*limit)
+			break
+		}
+		parts := make([]string, len(row))
+		for j, t := range row {
+			if t.IsZero() {
+				parts[j] = "UNBOUND"
+			} else {
+				parts[j] = t.String()
+			}
+		}
+		fmt.Println(strings.Join(parts, "\t"))
+	}
+	fmt.Fprintf(os.Stderr, "%d rows\n", res.Len())
+	return nil
+}
+
+// runTraverse exposes the Gremlin-style procedural traversal (§6 of the
+// paper) from the command line: bounded-length path enumeration and
+// shortest paths, which SPARQL 1.1 property paths cannot express (§5.1).
+func runTraverse(args []string) error {
+	fs := flag.NewFlagSet("traverse", flag.ExitOnError)
+	data := fs.String("data", "", "N-Quads data file (a converted PG-as-RDF dataset)")
+	indexes := fs.String("indexes", "PCSGM,PSCGM,SPCGM,GSPCM", "semantic network indexes")
+	from := fs.String("from", "", "start vertex IRI")
+	to := fs.String("to", "", "destination vertex IRI (shortest-path mode)")
+	label := fs.String("label", "follows", "edge label to follow (empty = any)")
+	minLen := fs.Int("min", 1, "minimum path length")
+	maxLen := fs.Int("max", 3, "maximum path length")
+	limit := fs.Int("print", 50, "max paths to print")
+	prefix := fs.String("vertex-prefix", "v", "vertex IRI prefix used at conversion time")
+	fs.Parse(args)
+	if *data == "" || *from == "" {
+		return fmt.Errorf("traverse requires -data and -from")
+	}
+	st, err := loadStore(*data, *indexes)
+	if err != nil {
+		return err
+	}
+	vocab := pgrdf.DefaultVocabulary()
+	vocab.VertexPrefix = *prefix
+	tr, err := pgrdf.NewTraverser(st, vocab, "")
+	if err != nil {
+		return err
+	}
+	start := rdf.NewIRI(*from)
+	if *to != "" {
+		path, ok := tr.ShortestPath(start, rdf.NewIRI(*to), *label)
+		if !ok {
+			fmt.Println("unreachable")
+			return nil
+		}
+		fmt.Printf("%s (length %d)\n", path, path.Len())
+		return nil
+	}
+	n := 0
+	err = tr.Walk(start, *label, *minLen, *maxLen, func(p pgrdf.Path) bool {
+		fmt.Println(p)
+		n++
+		return n < *limit
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%d path(s) printed (limit %d)\n", n, *limit)
+	return nil
+}
+
+// runServe starts a SPARQL 1.1 Protocol endpoint over a loaded dataset.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	data := fs.String("data", "", "N-Quads data file to load (optional: start empty)")
+	restore := fs.String("restore", "", "store snapshot to restore (preserves models, virtual models and indexes)")
+	indexes := fs.String("indexes", "PCSGM,PSCGM,SPCGM,GSPCM", "semantic network indexes")
+	addr := fs.String("addr", "localhost:3030", "listen address")
+	readOnly := fs.Bool("readonly", false, "disable the /update endpoint")
+	fs.Parse(args)
+
+	var st *store.Store
+	var err error
+	switch {
+	case *restore != "":
+		f, ferr := os.Open(*restore)
+		if ferr != nil {
+			return ferr
+		}
+		st, err = store.Restore(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	case *data != "":
+		st, err = loadStore(*data, *indexes)
+		if err != nil {
+			return err
+		}
+	default:
+		st, err = store.NewWithIndexes(strings.Split(*indexes, ","))
+		if err != nil {
+			return err
+		}
+	}
+	h := httpapi.NewServer(st)
+	h.ReadOnly = *readOnly
+	fmt.Fprintf(os.Stderr, "SPARQL endpoint on http://%s/sparql (updates: http://%s/update, stats: http://%s/stats)\n",
+		*addr, *addr, *addr)
+	return http.ListenAndServe(*addr, h)
+}
+
+func runStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	data := fs.String("data", "", "N-Quads data file")
+	indexes := fs.String("indexes", "PCSGM,PSCGM,SPCGM,GSPCM", "comma-separated semantic network indexes")
+	fs.Parse(args)
+	if *data == "" {
+		return fmt.Errorf("stats requires -data")
+	}
+	st, err := loadStore(*data, *indexes)
+	if err != nil {
+		return err
+	}
+	ds, err := st.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Quads        %d\nSubjects     %d\nPredicates   %d\nObjects      %d\nNamed Graphs %d\n",
+		ds.Quads, ds.Subjects, ds.Predicates, ds.Objects, ds.NamedGraphs)
+	rep := st.Storage()
+	fmt.Println("\nEstimated storage:")
+	for _, o := range rep.Objects {
+		fmt.Printf("  %-16s %8.2f MB\n", o.Name, float64(o.Bytes)/(1<<20))
+	}
+	fmt.Printf("  %-16s %8.2f MB\n", "Total", rep.TotalMB())
+	return nil
+}

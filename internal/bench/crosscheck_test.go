@@ -1,0 +1,37 @@
+package bench
+
+import "testing"
+
+// TestEQ12MatchesInMemoryTriangles cross-validates the SPARQL triangle
+// count (EQ12) against the pg package's index-free adjacency counter.
+func TestEQ12MatchesInMemoryTriangles(t *testing.T) {
+	env := sharedEnv(t)
+	_, sparqlCount, err := RunTimed(env.NG.Engine, TargetModelFor(env.NG, "EQ12"), env.Queries()["EQ12"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	inMem := env.Graph.CountTriangles("follows")
+	if int64(sparqlCount) != inMem {
+		t.Fatalf("EQ12 = %d but in-memory count = %d", sparqlCount, inMem)
+	}
+}
+
+// TestEQ9MatchesInMemoryDegrees cross-validates the EQ9 in-degree
+// distribution row count against a direct computation.
+func TestEQ9MatchesInMemoryDegrees(t *testing.T) {
+	env := sharedEnv(t)
+	_, rows, err := RunTimed(env.NG.Engine, TargetModelFor(env.NG, "EQ9"), env.Queries()["EQ9"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, in := env.Graph.DegreeDistribution()
+	distinct := 0
+	for deg := range in {
+		if deg > 0 {
+			distinct++
+		}
+	}
+	if rows != distinct {
+		t.Fatalf("EQ9 rows = %d but distinct positive in-degrees = %d", rows, distinct)
+	}
+}

@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDMLExtensionRoundTrips(t *testing.T) {
+	env := sharedEnv(t)
+
+	// Record a fingerprint: EQ8 counts depend on edge KVs being intact.
+	queries := env.Queries()
+	_, beforeNG, err := RunTimed(env.NG.Engine, TargetModelFor(env.NG, "EQ8a"), queries["EQ8a"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, beforeSP, err := RunTimed(env.SP.Engine, TargetModelFor(env.SP, "EQ8b"), queries["EQ8b"])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tab := DMLExtension(env, 50)
+	out := tab.String()
+	if strings.Contains(out, "error") || strings.Contains(out, "unexpected") {
+		t.Fatalf("DML experiment reported a problem:\n%s", out)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d\n%s", len(tab.Rows), out)
+	}
+
+	// The store must be exactly restored: rerun the fingerprint queries.
+	_, afterNG, err := RunTimed(env.NG.Engine, TargetModelFor(env.NG, "EQ8a"), queries["EQ8a"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, afterSP, err := RunTimed(env.SP.Engine, TargetModelFor(env.SP, "EQ8b"), queries["EQ8b"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if beforeNG != afterNG || beforeSP != afterSP {
+		t.Errorf("DML round trip changed query results: NG %d->%d, SP %d->%d",
+			beforeNG, afterNG, beforeSP, afterSP)
+	}
+
+	// SP must touch more quads than NG for the same edges (3+k vs 1+k).
+	quadCol := func(row []string) string { return row[2] }
+	if quadCol(tab.Rows[0]) >= quadCol(tab.Rows[1]) && len(quadCol(tab.Rows[0])) >= len(quadCol(tab.Rows[1])) {
+		t.Errorf("NG quads (%s) should be below SP quads (%s)\n%s",
+			quadCol(tab.Rows[0]), quadCol(tab.Rows[1]), out)
+	}
+}

@@ -1,0 +1,248 @@
+// Package bench is the experiment harness: it regenerates every table
+// and figure of the paper's evaluation (Tables 1–9, Figures 4–9,
+// queries EQ1–EQ12) against the synthetic Twitter dataset, loaded under
+// both the NG and SP schemes (plus RF for ablations).
+//
+// The harness follows the paper's methodology (§4.4): each query is run
+// once to warm the store, then run again for the reported time.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/pg"
+	"repro/internal/pgrdf"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/store"
+	"repro/internal/twitter"
+)
+
+// SchemeEnv is one scheme's loaded store.
+type SchemeEnv struct {
+	Scheme  pgrdf.Scheme
+	Store   *store.Store
+	Engine  *sparql.Engine
+	Names   pgrdf.ModelNames
+	Dataset *pgrdf.Dataset
+	LoadDur time.Duration
+}
+
+// Env is a fully prepared experiment environment.
+type Env struct {
+	Config     twitter.Config
+	Graph      *pg.Graph
+	GraphStats pg.Stats
+	NG, SP     *SchemeEnv
+
+	// Tag is the generated analogue of the paper's "#webseries": a tag
+	// chosen so its node count scales like 251/76,245.
+	Tag string
+	// TagNodeCount is the number of nodes carrying Tag (EQ1's result
+	// size analogue).
+	TagNodeCount int
+	// StartNode is the IRI of the EQ11 start node, chosen with
+	// follows-out-degree close to the paper's 21.
+	StartNode string
+}
+
+// Vocab is the vocabulary used by the harness: Twitter nodes use the
+// "n" prefix, matching the paper's <http://pg/n6160742>.
+func Vocab() pgrdf.Vocabulary {
+	v := pgrdf.DefaultVocabulary()
+	v.VertexPrefix = "n"
+	return v
+}
+
+// Setup generates the dataset and loads it under NG and SP.
+func Setup(cfg twitter.Config) (*Env, error) {
+	g := twitter.Generate(cfg)
+	env := &Env{Config: cfg, Graph: g, GraphStats: g.ComputeStats()}
+	env.pickTag()
+	env.pickStartNode()
+	var err error
+	if env.NG, err = loadScheme(g, pgrdf.NG); err != nil {
+		return nil, err
+	}
+	if env.SP, err = loadScheme(g, pgrdf.SP); err != nil {
+		return nil, err
+	}
+	return env, nil
+}
+
+func loadScheme(g *pg.Graph, s pgrdf.Scheme) (*SchemeEnv, error) {
+	st, err := pgrdf.NewStore(s)
+	if err != nil {
+		return nil, err
+	}
+	if s == pgrdf.NG {
+		// GSPCM serves the GRAPH-anchored subject access of Q2/EQ8
+		// (Table 5 lists it for the NG plans).
+		if err := st.CreateIndex("GSPCM"); err != nil {
+			return nil, err
+		}
+	}
+	conv := &pgrdf.Converter{Scheme: s, Vocab: Vocab(), Opts: pgrdf.DefaultOptions()}
+	ds := conv.Convert(g)
+	start := time.Now()
+	names, err := pgrdf.LoadPartitioned(st, ds, "pg")
+	if err != nil {
+		return nil, err
+	}
+	return &SchemeEnv{
+		Scheme:  s,
+		Store:   st,
+		Engine:  sparql.NewEngine(st),
+		Names:   names,
+		Dataset: ds,
+		LoadDur: time.Since(start),
+	}, nil
+}
+
+// pickTag selects the "#webseries" analogue: the tag whose node count is
+// closest to the paper's 251 nodes scaled by dataset size.
+func (env *Env) pickTag() {
+	counts := make(map[string]int)
+	env.Graph.Vertices(func(v *pg.Vertex) bool {
+		for _, val := range v.Values("hasTag") {
+			counts[val.Str]++
+		}
+		return true
+	})
+	target := int(251 * float64(env.GraphStats.Vertices) / 76245)
+	if target < 3 {
+		target = 3
+	}
+	best, bestDiff := "", 1<<31
+	for tag, n := range counts {
+		diff := n - target
+		if diff < 0 {
+			diff = -diff
+		}
+		if best == "" || diff < bestDiff || (diff == bestDiff && tag < best) {
+			best, bestDiff = tag, diff
+		}
+	}
+	env.Tag = best
+	env.TagNodeCount = counts[best]
+}
+
+// pickStartNode selects the EQ11 start node: follows-out-degree closest
+// to the paper's 21 (EQ11a returns 21 rows).
+func (env *Env) pickStartNode() {
+	vocab := Vocab()
+	bestID, bestDiff := pg.ID(0), 1<<31
+	env.Graph.Vertices(func(v *pg.Vertex) bool {
+		deg := 0
+		for _, e := range env.Graph.OutEdges(v.ID) {
+			if e.Label == "follows" {
+				deg++
+			}
+		}
+		diff := deg - 21
+		if diff < 0 {
+			diff = -diff
+		}
+		if bestID == 0 || diff < bestDiff || (diff == bestDiff && v.ID < bestID) {
+			bestID, bestDiff = v.ID, diff
+		}
+		return true
+	})
+	env.StartNode = vocab.VertexIRI(bestID).Value
+}
+
+// SchemeEnvs returns the NG and SP environments.
+func (env *Env) SchemeEnvs() []*SchemeEnv { return []*SchemeEnv{env.NG, env.SP} }
+
+// Queries returns the Table 10 queries rewritten for the generated
+// dataset (its tag and start node).
+func (env *Env) Queries() map[string]string {
+	m := sparql.PaperQueries()
+	for name, q := range m {
+		q = strings.ReplaceAll(q, "#webseries", env.Tag)
+		q = strings.ReplaceAll(q, "http://pg/n6160742", env.StartNode)
+		m[name] = q
+	}
+	return m
+}
+
+// RunTimed runs a query with the paper's methodology (warm-up run, then
+// timed runs; we take the median of three timed runs since our queries
+// are orders of magnitude shorter than Oracle's and noisier). The
+// returned count matches Table 10's "Number of Results" convention: for
+// a single-row single-column COUNT query it is the counted value
+// (EQ11/EQ12 report path/triangle counts); otherwise it is the number
+// of solution rows.
+func RunTimed(e *sparql.Engine, model, query string) (time.Duration, int, error) {
+	res, err := e.Query(model, query) // warm-up
+	if err != nil {
+		return 0, 0, err
+	}
+	runs := 3
+	if first := timeOnce(e, model, query); first > 2*time.Second {
+		// Long queries: a single timed run, like the paper.
+		return first, resultCount(res), nil
+	} else {
+		durs := []time.Duration{first}
+		for i := 1; i < runs; i++ {
+			durs = append(durs, timeOnce(e, model, query))
+		}
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		return durs[len(durs)/2], resultCount(res), nil
+	}
+}
+
+func timeOnce(e *sparql.Engine, model, query string) time.Duration {
+	start := time.Now()
+	_, _ = e.Query(model, query)
+	return time.Since(start)
+}
+
+func resultCount(res *sparql.Results) int {
+	if len(res.Rows) == 1 && len(res.Rows[0]) == 1 {
+		if v, ok := rdf.LiteralValue(res.Rows[0][0]); ok && v.Kind == rdf.ValueInteger {
+			return int(v.Int)
+		}
+	}
+	return res.Len()
+}
+
+// TargetModelFor picks the dataset each experiment query family is
+// posed against, following Table 4: node-centric queries use
+// topology+node-KV, edge-centric queries use the scheme's edge-KV
+// target, and traversal/aggregate queries use topology only.
+func TargetModelFor(se *SchemeEnv, queryName string) string {
+	switch {
+	case strings.HasPrefix(queryName, "EQ1") && len(queryName) == 3, // EQ1
+		queryName == "EQ2", queryName == "EQ3", queryName == "EQ4":
+		return se.Names.TopoNodeKV
+	case strings.HasPrefix(queryName, "EQ5"), strings.HasPrefix(queryName, "EQ6"),
+		strings.HasPrefix(queryName, "EQ7"), strings.HasPrefix(queryName, "EQ8"):
+		// Edge-centric queries touch topology plus edge KVs (and for
+		// SP the anchor triples, which live in the edge-KV partition).
+		return se.Names.TopoEdgeKV
+	case queryName == "EQ9", queryName == "EQ10", queryName == "EQ12",
+		strings.HasPrefix(queryName, "EQ11"):
+		return se.Names.Topology
+	default:
+		return se.Names.All
+	}
+}
+
+// sortedKeys returns map keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// fmtDur renders a duration in milliseconds with 2 decimals.
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+}

@@ -1,0 +1,24 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInferenceExtension(t *testing.T) {
+	env := sharedEnv(t)
+	tab := InferenceExtension(env)
+	out := tab.String()
+	if strings.Contains(out, "error") {
+		t.Fatalf("inference extension failed:\n%s", out)
+	}
+	// Running a second time on the same env must work (idempotence of
+	// the virtual-model setup) and infer nothing new.
+	tab2 := InferenceExtension(env)
+	if strings.Contains(tab2.String(), "error") {
+		t.Fatalf("second run failed:\n%s", tab2.String())
+	}
+	if len(tab2.Rows) < 4 {
+		t.Fatalf("second run rows: %v", tab2.Rows)
+	}
+}

@@ -1,0 +1,122 @@
+// Package httpapi exposes the store over the SPARQL 1.1 Protocol: a
+// query endpoint (SELECT/ASK/CONSTRUCT) returning the SPARQL 1.1 Query
+// Results JSON Format, and an update endpoint. This is the service
+// surface an RDF store deployment offers; Oracle exposes the same
+// functionality through SEM_MATCH and its SPARQL gateway.
+package httpapi
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// jsonTerm is one RDF term in the SPARQL 1.1 JSON results format.
+type jsonTerm struct {
+	Type     string `json:"type"` // "uri", "literal", "bnode"
+	Value    string `json:"value"`
+	Datatype string `json:"datatype,omitempty"`
+	Lang     string `json:"xml:lang,omitempty"`
+}
+
+func termJSON(t rdf.Term) jsonTerm {
+	switch t.Kind {
+	case rdf.KindIRI:
+		return jsonTerm{Type: "uri", Value: t.Value}
+	case rdf.KindBlank:
+		return jsonTerm{Type: "bnode", Value: t.Value}
+	default:
+		jt := jsonTerm{Type: "literal", Value: t.Value}
+		if t.Lang != "" {
+			jt.Lang = t.Lang
+		} else if t.Datatype != "" {
+			jt.Datatype = t.Datatype
+		}
+		return jt
+	}
+}
+
+type jsonResults struct {
+	Head    jsonHead      `json:"head"`
+	Results *jsonBindings `json:"results,omitempty"`
+	Boolean *bool         `json:"boolean,omitempty"`
+}
+
+type jsonHead struct {
+	Vars []string `json:"vars,omitempty"`
+}
+
+type jsonBindings struct {
+	Bindings []map[string]jsonTerm `json:"bindings"`
+}
+
+// WriteResultsJSON encodes SELECT results in the SPARQL 1.1 Query
+// Results JSON Format.
+func WriteResultsJSON(w io.Writer, res *sparql.Results) error {
+	out := jsonResults{
+		Head:    jsonHead{Vars: res.Vars},
+		Results: &jsonBindings{Bindings: make([]map[string]jsonTerm, 0, len(res.Rows))},
+	}
+	for _, row := range res.Rows {
+		b := make(map[string]jsonTerm, len(row))
+		for i, t := range row {
+			if t.IsZero() {
+				continue // unbound variables are simply absent
+			}
+			b[res.Vars[i]] = termJSON(t)
+		}
+		out.Results.Bindings = append(out.Results.Bindings, b)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteBooleanJSON encodes an ASK result.
+func WriteBooleanJSON(w io.Writer, v bool) error {
+	out := jsonResults{Boolean: &v}
+	return json.NewEncoder(w).Encode(out)
+}
+
+// ParseResultsJSON decodes the JSON results format back into Results
+// (used by the round-trip tests and by clients).
+func ParseResultsJSON(r io.Reader) (*sparql.Results, bool, error) {
+	var in jsonResults
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, false, err
+	}
+	if in.Boolean != nil {
+		return nil, *in.Boolean, nil
+	}
+	res := &sparql.Results{Vars: in.Head.Vars}
+	if in.Results == nil {
+		return res, false, nil
+	}
+	for _, b := range in.Results.Bindings {
+		row := make([]rdf.Term, len(res.Vars))
+		for i, v := range res.Vars {
+			jt, ok := b[v]
+			if !ok {
+				continue
+			}
+			switch jt.Type {
+			case "uri":
+				row[i] = rdf.NewIRI(jt.Value)
+			case "bnode":
+				row[i] = rdf.NewBlank(jt.Value)
+			default:
+				switch {
+				case jt.Lang != "":
+					row[i] = rdf.NewLangLiteral(jt.Value, jt.Lang)
+				case jt.Datatype != "":
+					row[i] = rdf.NewTypedLiteral(jt.Value, jt.Datatype)
+				default:
+					row[i] = rdf.NewLiteral(jt.Value)
+				}
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, false, nil
+}

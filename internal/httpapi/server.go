@@ -1,0 +1,205 @@
+package httpapi
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/ntriples"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/store"
+)
+
+// Server is the SPARQL protocol handler. Mount it on an http.Server:
+//
+//	h := httpapi.NewServer(st)
+//	http.ListenAndServe(":8080", h)
+//
+// Endpoints:
+//
+//	GET  /sparql?query=...&model=...   — query via URL parameter
+//	POST /sparql                       — query via form or raw body
+//	                                     (Content-Type application/sparql-query
+//	                                     or application/x-www-form-urlencoded)
+//	POST /update                       — update via form or raw body
+//	                                     (application/sparql-update)
+//	GET  /stats                        — dataset statistics (JSON)
+//
+// SELECT and ASK return application/sparql-results+json; CONSTRUCT
+// returns application/n-quads. The optional `model` parameter names the
+// semantic or virtual model to query ("" = all models).
+type Server struct {
+	eng *sparql.Engine
+	mux *http.ServeMux
+	// ReadOnly disables the /update endpoint.
+	ReadOnly bool
+}
+
+// NewServer builds a handler over the store.
+func NewServer(st *store.Store) *Server {
+	s := &Server{eng: sparql.NewEngine(st), mux: http.NewServeMux()}
+	s.mux.HandleFunc("/sparql", s.handleQuery)
+	s.mux.HandleFunc("/update", s.handleUpdate)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var query, model string
+	switch r.Method {
+	case http.MethodGet:
+		query = r.URL.Query().Get("query")
+		model = r.URL.Query().Get("model")
+	case http.MethodPost:
+		ct := r.Header.Get("Content-Type")
+		if strings.HasPrefix(ct, "application/sparql-query") {
+			body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			query = string(body)
+			model = r.URL.Query().Get("model")
+		} else {
+			if err := r.ParseForm(); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			query = r.PostForm.Get("query")
+			model = r.PostForm.Get("model")
+		}
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if strings.TrimSpace(query) == "" {
+		http.Error(w, "missing query", http.StatusBadRequest)
+		return
+	}
+
+	form, err := queryForm(query)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	switch form {
+	case sparql.FormAsk:
+		v, err := s.eng.Ask(model, query)
+		if err != nil {
+			queryError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/sparql-results+json")
+		WriteBooleanJSON(w, v)
+	case sparql.FormConstruct, sparql.FormDescribe:
+		var quads []rdf.Quad
+		var err error
+		if form == sparql.FormConstruct {
+			quads, err = s.eng.Construct(model, query)
+		} else {
+			quads, err = s.eng.Describe(model, query)
+		}
+		if err != nil {
+			queryError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/n-quads")
+		nw := ntriples.NewWriter(w)
+		nw.WriteAll(quads)
+	default:
+		res, err := s.eng.Query(model, query)
+		if err != nil {
+			queryError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/sparql-results+json")
+		WriteResultsJSON(w, res)
+	}
+}
+
+// queryForm parses just enough to dispatch on the query form.
+func queryForm(query string) (sparql.QueryForm, error) {
+	q, err := sparql.Parse(query)
+	if err != nil {
+		return 0, err
+	}
+	return q.Form, nil
+}
+
+func queryError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	if strings.Contains(err.Error(), "unknown model") {
+		status = http.StatusNotFound
+	}
+	http.Error(w, err.Error(), status)
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if s.ReadOnly {
+		http.Error(w, "updates are disabled", http.StatusForbidden)
+		return
+	}
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var request, model string
+	ct := r.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, "application/sparql-update") {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		request = string(body)
+		model = r.URL.Query().Get("model")
+	} else {
+		if err := r.ParseForm(); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		request = r.PostForm.Get("update")
+		model = r.PostForm.Get("model")
+	}
+	if strings.TrimSpace(request) == "" {
+		http.Error(w, "missing update", http.StatusBadRequest)
+		return
+	}
+	if model == "" {
+		http.Error(w, "updates require an explicit model parameter", http.StatusBadRequest)
+		return
+	}
+	res, err := s.eng.Update(model, request)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"inserted":%d,"deleted":%d}`+"\n", res.Inserted, res.Deleted)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	model := r.URL.Query().Get("model")
+	var models []string
+	if model != "" {
+		models = append(models, model)
+	}
+	st, err := s.eng.Store().Stats(models...)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	rep := s.eng.Store().Storage()
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"quads":%d,"subjects":%d,"predicates":%d,"objects":%d,"namedGraphs":%d,"storageBytes":%d}`+"\n",
+		st.Quads, st.Subjects, st.Predicates, st.Objects, st.NamedGraphs, rep.Total)
+}

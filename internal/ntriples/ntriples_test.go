@@ -1,0 +1,232 @@
+package ntriples
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func mustParse(t *testing.T, s string) []rdf.Quad {
+	t.Helper()
+	quads, err := NewReader(strings.NewReader(s)).ReadAll()
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return quads
+}
+
+func TestParseTriple(t *testing.T) {
+	quads := mustParse(t, `<http://pg/v1> <http://pg/r/follows> <http://pg/v2> .`)
+	if len(quads) != 1 {
+		t.Fatalf("got %d quads", len(quads))
+	}
+	want := rdf.TripleQuad(rdf.NewTriple(
+		rdf.NewIRI("http://pg/v1"), rdf.NewIRI("http://pg/r/follows"), rdf.NewIRI("http://pg/v2")))
+	if quads[0] != want {
+		t.Errorf("got %v want %v", quads[0], want)
+	}
+}
+
+func TestParseQuad(t *testing.T) {
+	quads := mustParse(t, `<http://pg/v1> <http://pg/r/follows> <http://pg/v2> <http://pg/e3> .`)
+	if !quads[0].G.Equal(rdf.NewIRI("http://pg/e3")) {
+		t.Errorf("graph = %v", quads[0].G)
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	input := `<http://pg/v1> <http://pg/k/name> "Amy" .
+<http://pg/v1> <http://pg/k/age> "23"^^<http://www.w3.org/2001/XMLSchema#int> .
+<http://pg/v1> <http://pg/k/bio> "line1\nline2\t\"quoted\" back\\slash" .
+<http://pg/v1> <http://pg/k/label> "train"@en-us .
+<http://pg/v1> <http://pg/k/uni> "é\U0001F600" .`
+	quads := mustParse(t, input)
+	if len(quads) != 5 {
+		t.Fatalf("got %d quads", len(quads))
+	}
+	if !quads[0].O.Equal(rdf.NewLiteral("Amy")) {
+		t.Errorf("plain literal: %v", quads[0].O)
+	}
+	if !quads[1].O.Equal(rdf.NewInt(23)) {
+		t.Errorf("typed literal: %v", quads[1].O)
+	}
+	if quads[2].O.Value != "line1\nline2\t\"quoted\" back\\slash" {
+		t.Errorf("escapes: %q", quads[2].O.Value)
+	}
+	if !quads[3].O.Equal(rdf.NewLangLiteral("train", "en-us")) {
+		t.Errorf("lang literal: %v", quads[3].O)
+	}
+	if quads[4].O.Value != "é😀" {
+		t.Errorf("unicode escapes: %q", quads[4].O.Value)
+	}
+}
+
+func TestParseBlankNodes(t *testing.T) {
+	quads := mustParse(t, `_:b0 <http://p> _:b1 .`)
+	if !quads[0].S.Equal(rdf.NewBlank("b0")) || !quads[0].O.Equal(rdf.NewBlank("b1")) {
+		t.Errorf("blank nodes: %v", quads[0])
+	}
+}
+
+func TestParseCommentsAndBlankLines(t *testing.T) {
+	input := "# a comment\n\n<http://s> <http://p> <http://o> .\n   \n# another\n"
+	quads := mustParse(t, input)
+	if len(quads) != 1 {
+		t.Errorf("got %d quads", len(quads))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`<http://s> <http://p> <http://o>`,            // missing dot
+		`<http://s> <http://p> .`,                     // missing object
+		`"lit" <http://p> <http://o> .`,               // literal subject
+		`<http://s> _:b <http://o> .`,                 // blank predicate
+		`<http://s> <http://p> "unterminated .`,       // unterminated literal
+		`<http://s> <http://p> <http://o> "lit" .`,    // literal graph
+		`<http://s> <http://p> <http://o> . extra`,    // trailing garbage
+		`<http://s <http://p> <http://o> .`,           // IRI with space
+		`<http://s> <http://p> "x"^^bad .`,            // datatype not an IRI
+		`<http://s> <http://p> "x"@ .`,                // empty lang tag
+		`<> <http://p> <http://o> .`,                  // empty IRI
+		`<http://s> <http://p> "\q" .`,                // unknown escape
+		`<http://s> <http://p> "\u00" .`,              // truncated \u
+		`<http://s> <http://p> "\uZZZZ" .`,            // non-hex \u
+		`<http://s\q> <http://p> <http://o> .`,        // bad IRI escape
+		`_: <http://p> <http://o> .`,                  // empty blank label
+		`<http://s> <http://p> <http://o> <http://g>`, // quad missing dot
+	}
+	for _, s := range bad {
+		if _, err := NewReader(strings.NewReader(s)).ReadAll(); err == nil {
+			t.Errorf("accepted invalid line %q", s)
+		} else if _, ok := err.(*SyntaxError); !ok {
+			t.Errorf("want *SyntaxError for %q, got %T %v", s, err, err)
+		}
+	}
+}
+
+func TestSyntaxErrorPosition(t *testing.T) {
+	input := "<http://s> <http://p> <http://o> .\nbogus line\n"
+	_, err := NewReader(strings.NewReader(input)).ReadAll()
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("want SyntaxError, got %v", err)
+	}
+	if se.Line != 2 {
+		t.Errorf("line = %d, want 2", se.Line)
+	}
+	if !strings.Contains(se.Error(), "line 2") {
+		t.Errorf("message lacks position: %s", se.Error())
+	}
+}
+
+func TestReaderStreams(t *testing.T) {
+	r := NewReader(strings.NewReader("<http://s> <http://p> <http://o> .\n<http://s2> <http://p> <http://o> .\n"))
+	q1, err := r.Read()
+	if err != nil || q1.S.Value != "http://s" {
+		t.Fatalf("first read: %v %v", q1, err)
+	}
+	q2, err := r.Read()
+	if err != nil || q2.S.Value != "http://s2" {
+		t.Fatalf("second read: %v %v", q2, err)
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestWriterRejectsInvalid(t *testing.T) {
+	w := NewWriter(io.Discard)
+	bad := rdf.NewQuad(rdf.NewLiteral("x"), rdf.NewIRI("http://p"), rdf.NewIRI("http://o"), rdf.Term{})
+	if err := w.Write(bad); err == nil {
+		t.Fatal("invalid quad accepted")
+	}
+	// Error must be sticky.
+	good := rdf.TripleQuad(rdf.NewTriple(rdf.NewIRI("http://s"), rdf.NewIRI("http://p"), rdf.NewIRI("http://o")))
+	if err := w.Write(good); err == nil {
+		t.Fatal("write after error should keep failing")
+	}
+	if w.Count() != 0 {
+		t.Errorf("count = %d, want 0", w.Count())
+	}
+}
+
+func randomTerm(rng *rand.Rand, resourceOnly bool) rdf.Term {
+	kinds := 3
+	if resourceOnly {
+		kinds = 2
+	}
+	switch rng.Intn(kinds) {
+	case 0:
+		return rdf.NewIRI(fmt.Sprintf("http://x/%d", rng.Intn(50)))
+	case 1:
+		return rdf.NewBlank(fmt.Sprintf("b%d", rng.Intn(50)))
+	default:
+		switch rng.Intn(4) {
+		case 0:
+			return rdf.NewLiteral(randomString(rng))
+		case 1:
+			return rdf.NewInteger(rng.Int63n(1000) - 500)
+		case 2:
+			return rdf.NewLangLiteral(randomString(rng), "en")
+		default:
+			return rdf.NewDouble(float64(rng.Intn(100)) / 4)
+		}
+	}
+}
+
+func randomString(rng *rand.Rand) string {
+	alphabet := []rune("abcXYZ 0189\"\\\n\t\réあ😀#@")
+	n := rng.Intn(12)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteRune(alphabet[rng.Intn(len(alphabet))])
+	}
+	return b.String()
+}
+
+// TestRoundTrip is the invariant-5 property test: serialize→parse is the
+// identity on any set of valid quads, including nasty literals.
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(40)
+		quads := make([]rdf.Quad, 0, n)
+		for i := 0; i < n; i++ {
+			q := rdf.Quad{
+				S: randomTerm(rng, true),
+				P: rdf.NewIRI(fmt.Sprintf("http://p/%d", rng.Intn(10))),
+				O: randomTerm(rng, false),
+			}
+			if rng.Intn(2) == 0 {
+				q.G = randomTerm(rng, true)
+			}
+			quads = append(quads, q)
+		}
+		var sb strings.Builder
+		w := NewWriter(&sb)
+		if err := w.WriteAll(quads); err != nil {
+			t.Fatalf("trial %d: write: %v", trial, err)
+		}
+		got, err := NewReader(strings.NewReader(sb.String())).ReadAll()
+		if err != nil {
+			t.Fatalf("trial %d: parse: %v\ninput:\n%s", trial, err, sb.String())
+		}
+		if len(got) != len(quads) {
+			t.Fatalf("trial %d: got %d quads, want %d", trial, len(got), len(quads))
+		}
+		sort.Slice(got, func(i, j int) bool { return rdf.CompareQuads(got[i], got[j]) < 0 })
+		want := append([]rdf.Quad(nil), quads...)
+		sort.Slice(want, func(i, j int) bool { return rdf.CompareQuads(want[i], want[j]) < 0 })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: quad %d differs:\ngot  %v\nwant %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}

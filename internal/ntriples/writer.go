@@ -1,0 +1,62 @@
+package ntriples
+
+import (
+	"bufio"
+	"io"
+
+	"repro/internal/rdf"
+)
+
+// Writer serializes quads in N-Quads syntax (N-Triples when every quad is
+// in the default graph).
+type Writer struct {
+	bw  *bufio.Writer
+	n   int
+	err error
+}
+
+// NewWriter returns a serializer writing to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriter(w)}
+}
+
+// Write emits one quad. Errors are sticky: after a write error every
+// subsequent call returns the same error.
+func (w *Writer) Write(q rdf.Quad) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.err = q.Validate(); w.err != nil {
+		return w.err
+	}
+	_, w.err = w.bw.WriteString(q.String())
+	if w.err == nil {
+		_, w.err = w.bw.WriteString(" .\n")
+	}
+	if w.err == nil {
+		w.n++
+	}
+	return w.err
+}
+
+// WriteAll emits all quads then flushes.
+func (w *Writer) WriteAll(quads []rdf.Quad) error {
+	for _, q := range quads {
+		if err := w.Write(q); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// Count returns the number of quads successfully written.
+func (w *Writer) Count() int { return w.n }
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	w.err = w.bw.Flush()
+	return w.err
+}

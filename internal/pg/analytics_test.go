@@ -1,0 +1,168 @@
+package pg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// twoIslands builds two disconnected components: a 3-cycle {1,2,3} and
+// an edge pair {10,11}.
+func twoIslands(t *testing.T) *Graph {
+	t.Helper()
+	g := NewGraph()
+	for _, id := range []ID{1, 2, 3, 10, 11} {
+		if _, err := g.AddVertexWithID(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustE := func(src, dst ID) {
+		if _, err := g.AddEdge(src, dst, "follows"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustE(1, 2)
+	mustE(2, 3)
+	mustE(3, 1)
+	mustE(10, 11)
+	return g
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := twoIslands(t)
+	labels, n := g.ConnectedComponents()
+	if n != 2 {
+		t.Fatalf("components = %d", n)
+	}
+	if labels[1] != labels[2] || labels[2] != labels[3] {
+		t.Errorf("cycle not one component: %v", labels)
+	}
+	if labels[10] != labels[11] || labels[10] == labels[1] {
+		t.Errorf("islands merged or split: %v", labels)
+	}
+	if labels[1] != 1 || labels[10] != 10 {
+		t.Errorf("labels not canonicalized to min id: %v", labels)
+	}
+	// Isolated vertex forms its own component.
+	g.AddVertexWithID(99)
+	_, n = g.ConnectedComponents()
+	if n != 3 {
+		t.Errorf("with isolated vertex, components = %d", n)
+	}
+}
+
+func TestPageRankProperties(t *testing.T) {
+	g := NewGraph()
+	// Star: 2..6 all point at 1.
+	for id := ID(1); id <= 6; id++ {
+		g.AddVertexWithID(id)
+	}
+	for id := ID(2); id <= 6; id++ {
+		g.AddEdge(id, 1, "follows")
+	}
+	rank := g.PageRank(PageRankOptions{})
+	// Ranks sum to ~1.
+	sum := 0.0
+	for _, r := range rank {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("ranks sum to %f", sum)
+	}
+	// The hub dominates.
+	for id := ID(2); id <= 6; id++ {
+		if rank[1] <= rank[id] {
+			t.Errorf("hub rank %f not above leaf rank %f", rank[1], rank[id])
+		}
+	}
+	top := g.TopPageRank(1, PageRankOptions{})
+	if len(top) != 1 || top[0].ID != 1 {
+		t.Errorf("top = %v", top)
+	}
+	if g.PageRank(PageRankOptions{}) == nil {
+		t.Error("non-empty graph returned nil ranks")
+	}
+	if NewGraph().PageRank(PageRankOptions{}) != nil {
+		t.Error("empty graph should return nil")
+	}
+}
+
+func TestPageRankDanglingMass(t *testing.T) {
+	g := NewGraph()
+	g.AddVertexWithID(1)
+	g.AddVertexWithID(2)
+	g.AddEdge(1, 2, "x") // 2 is dangling
+	rank := g.PageRank(PageRankOptions{Iterations: 50})
+	sum := rank[1] + rank[2]
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("dangling mass lost: sum = %f", sum)
+	}
+	if rank[2] <= rank[1] {
+		t.Errorf("sink should outrank source: %v", rank)
+	}
+}
+
+func TestTopInDegree(t *testing.T) {
+	g := twoIslands(t)
+	top := g.TopInDegree(2)
+	if len(top) != 2 {
+		t.Fatalf("top = %v", top)
+	}
+	// All of 1,2,3,11 have in-degree 1; ties break by id.
+	if top[0].ID != 1 || top[0].Score != 1 {
+		t.Errorf("top[0] = %+v", top[0])
+	}
+}
+
+func TestCountTriangles(t *testing.T) {
+	g := twoIslands(t)
+	// One directed 3-cycle counted from each starting vertex = 3.
+	if n := g.CountTriangles("follows"); n != 3 {
+		t.Errorf("triangles = %d, want 3", n)
+	}
+	if n := g.CountTriangles("knows"); n != 0 {
+		t.Errorf("knows triangles = %d", n)
+	}
+	if n := g.CountTriangles(""); n != 3 {
+		t.Errorf("any-label triangles = %d", n)
+	}
+}
+
+// TestTrianglesMatchNaive cross-checks the set-based counter against a
+// brute-force enumeration on random graphs.
+func TestTrianglesMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		g := RandomGraph(rng, 12, 40)
+		want := int64(0)
+		type edge struct{ s, d ID }
+		adj := map[edge]bool{}
+		g.Edges(func(e *Edge) bool {
+			adj[edge{e.Src, e.Dst}] = true
+			return true
+		})
+		g.Vertices(func(x *Vertex) bool {
+			g.Vertices(func(y *Vertex) bool {
+				g.Vertices(func(z *Vertex) bool {
+					if adj[edge{x.ID, y.ID}] && adj[edge{y.ID, z.ID}] && adj[edge{z.ID, x.ID}] {
+						want++
+					}
+					return true
+				})
+				return true
+			})
+			return true
+		})
+		if got := g.CountTriangles(""); got != want {
+			t.Fatalf("trial %d: triangles = %d, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	g := twoIslands(t)
+	s := g.Summary()
+	if s == "" || len(s) < 10 {
+		t.Errorf("summary = %q", s)
+	}
+}

@@ -1,0 +1,450 @@
+// Package pg implements the property graph model of the paper's §1: a
+// directed, multi-relational graph whose vertices and edges carry
+// key/value properties. Vertex and edge identifiers share a single id
+// space unique within the graph (as in the paper's Figure 3, where the
+// ObjKVs table mixes vertex and edge ids in one ObjId column).
+//
+// The API follows the Blueprints style the paper cites as the de facto
+// standard access layer: AddVertex / AddEdge / SetProperty / iteration.
+package pg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ID identifies a vertex or an edge; the id space is shared.
+type ID int64
+
+// Value is a typed property value. Property graphs allow only scalar
+// values on keys (§1), so Value is a closed union of scalar kinds.
+type Value struct {
+	Kind  ValueKind
+	Str   string
+	Int   int64
+	Float float64
+	Bool  bool
+}
+
+// ValueKind discriminates property value types.
+type ValueKind uint8
+
+// Property value kinds.
+const (
+	KindString ValueKind = iota
+	KindInt
+	KindFloat
+	KindBool
+)
+
+// S returns a string value.
+func S(s string) Value { return Value{Kind: KindString, Str: s} }
+
+// I returns an integer value.
+func I(i int64) Value { return Value{Kind: KindInt, Int: i} }
+
+// F returns a float value.
+func F(f float64) Value { return Value{Kind: KindFloat, Float: f} }
+
+// B returns a boolean value.
+func B(b bool) Value { return Value{Kind: KindBool, Bool: b} }
+
+// String renders the value for diagnostics.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindInt:
+		return fmt.Sprintf("%d", v.Int)
+	case KindFloat:
+		return fmt.Sprintf("%g", v.Float)
+	case KindBool:
+		return fmt.Sprintf("%t", v.Bool)
+	default:
+		return v.Str
+	}
+}
+
+// RelType returns the relational type name used in the ObjKVs table
+// (Figure 3): VARCHAR, NUMBER, DOUBLE or BOOLEAN.
+func (v Value) RelType() string {
+	switch v.Kind {
+	case KindInt:
+		return "NUMBER"
+	case KindFloat:
+		return "DOUBLE"
+	case KindBool:
+		return "BOOLEAN"
+	default:
+		return "VARCHAR"
+	}
+}
+
+// Vertex is a graph vertex with its properties. Properties are
+// multi-valued with set semantics per key: the paper's Twitter dataset
+// attaches many `refs`/`hasTag` values to one node, and edge KVs are
+// defined as set intersections of endpoint KVs (§4.2).
+type Vertex struct {
+	ID    ID
+	props map[string][]Value
+	out   []ID // outgoing edge ids, in insertion order
+	in    []ID // incoming edge ids
+}
+
+// Edge is a directed, labeled edge with its properties.
+type Edge struct {
+	ID    ID
+	Label string
+	Src   ID
+	Dst   ID
+	props map[string][]Value
+}
+
+// Graph is a mutable in-memory property graph.
+type Graph struct {
+	vertices map[ID]*Vertex
+	edges    map[ID]*Edge
+	vOrder   []ID
+	eOrder   []ID
+	nextID   ID
+}
+
+// NewGraph returns an empty property graph.
+func NewGraph() *Graph {
+	return &Graph{
+		vertices: make(map[ID]*Vertex),
+		edges:    make(map[ID]*Edge),
+		nextID:   1,
+	}
+}
+
+// reserve bumps the id allocator past id.
+func (g *Graph) reserve(id ID) {
+	if id >= g.nextID {
+		g.nextID = id + 1
+	}
+}
+
+// AddVertex adds a vertex with an auto-assigned id.
+func (g *Graph) AddVertex() *Vertex {
+	v, err := g.AddVertexWithID(g.nextID)
+	if err != nil {
+		panic(err) // unreachable: auto ids never collide
+	}
+	return v
+}
+
+// AddVertexWithID adds a vertex with an explicit id. The id must be
+// positive and unused by any vertex or edge.
+func (g *Graph) AddVertexWithID(id ID) (*Vertex, error) {
+	if id <= 0 {
+		return nil, fmt.Errorf("pg: vertex id must be positive, got %d", id)
+	}
+	if g.idInUse(id) {
+		return nil, fmt.Errorf("pg: id %d already in use", id)
+	}
+	v := &Vertex{ID: id, props: make(map[string][]Value)}
+	g.vertices[id] = v
+	g.vOrder = append(g.vOrder, id)
+	g.reserve(id)
+	return v, nil
+}
+
+// AddEdge adds a labeled edge with an auto-assigned id. Both endpoints
+// must exist.
+func (g *Graph) AddEdge(src, dst ID, label string) (*Edge, error) {
+	return g.AddEdgeWithID(g.nextID, src, dst, label)
+}
+
+// AddEdgeWithID adds an edge with an explicit id.
+func (g *Graph) AddEdgeWithID(id, src, dst ID, label string) (*Edge, error) {
+	if id <= 0 {
+		return nil, fmt.Errorf("pg: edge id must be positive, got %d", id)
+	}
+	if g.idInUse(id) {
+		return nil, fmt.Errorf("pg: id %d already in use", id)
+	}
+	if label == "" {
+		return nil, fmt.Errorf("pg: edge label must not be empty")
+	}
+	sv, ok := g.vertices[src]
+	if !ok {
+		return nil, fmt.Errorf("pg: source vertex %d does not exist", src)
+	}
+	dv, ok := g.vertices[dst]
+	if !ok {
+		return nil, fmt.Errorf("pg: destination vertex %d does not exist", dst)
+	}
+	e := &Edge{ID: id, Label: label, Src: src, Dst: dst, props: make(map[string][]Value)}
+	g.edges[id] = e
+	g.eOrder = append(g.eOrder, id)
+	sv.out = append(sv.out, id)
+	dv.in = append(dv.in, id)
+	g.reserve(id)
+	return e, nil
+}
+
+func (g *Graph) idInUse(id ID) bool {
+	_, v := g.vertices[id]
+	_, e := g.edges[id]
+	return v || e
+}
+
+// Vertex returns a vertex by id, or nil.
+func (g *Graph) Vertex(id ID) *Vertex { return g.vertices[id] }
+
+// Edge returns an edge by id, or nil.
+func (g *Graph) Edge(id ID) *Edge { return g.edges[id] }
+
+// RemoveEdge deletes an edge.
+func (g *Graph) RemoveEdge(id ID) error {
+	e, ok := g.edges[id]
+	if !ok {
+		return fmt.Errorf("pg: edge %d does not exist", id)
+	}
+	delete(g.edges, id)
+	g.eOrder = removeID(g.eOrder, id)
+	if sv := g.vertices[e.Src]; sv != nil {
+		sv.out = removeID(sv.out, id)
+	}
+	if dv := g.vertices[e.Dst]; dv != nil {
+		dv.in = removeID(dv.in, id)
+	}
+	return nil
+}
+
+// RemoveVertex deletes a vertex and all incident edges.
+func (g *Graph) RemoveVertex(id ID) error {
+	v, ok := g.vertices[id]
+	if !ok {
+		return fmt.Errorf("pg: vertex %d does not exist", id)
+	}
+	for _, eid := range append(append([]ID(nil), v.out...), v.in...) {
+		if _, still := g.edges[eid]; still {
+			if err := g.RemoveEdge(eid); err != nil {
+				return err
+			}
+		}
+	}
+	delete(g.vertices, id)
+	g.vOrder = removeID(g.vOrder, id)
+	return nil
+}
+
+func removeID(s []ID, id ID) []ID {
+	for i, x := range s {
+		if x == id {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return len(g.vertices) }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Vertices iterates vertices in insertion order.
+func (g *Graph) Vertices(fn func(*Vertex) bool) {
+	for _, id := range g.vOrder {
+		if v, ok := g.vertices[id]; ok {
+			if !fn(v) {
+				return
+			}
+		}
+	}
+}
+
+// Edges iterates edges in insertion order.
+func (g *Graph) Edges(fn func(*Edge) bool) {
+	for _, id := range g.eOrder {
+		if e, ok := g.edges[id]; ok {
+			if !fn(e) {
+				return
+			}
+		}
+	}
+}
+
+// OutEdges returns the outgoing edges of a vertex.
+func (g *Graph) OutEdges(id ID) []*Edge {
+	v := g.vertices[id]
+	if v == nil {
+		return nil
+	}
+	out := make([]*Edge, 0, len(v.out))
+	for _, eid := range v.out {
+		out = append(out, g.edges[eid])
+	}
+	return out
+}
+
+// InEdges returns the incoming edges of a vertex.
+func (g *Graph) InEdges(id ID) []*Edge {
+	v := g.vertices[id]
+	if v == nil {
+		return nil
+	}
+	in := make([]*Edge, 0, len(v.in))
+	for _, eid := range v.in {
+		in = append(in, g.edges[eid])
+	}
+	return in
+}
+
+// SetProperty replaces all values of a vertex key with a single value.
+func (v *Vertex) SetProperty(key string, val Value) { v.props[key] = []Value{val} }
+
+// AddProperty adds one more value for the key (set semantics: adding a
+// value already present is a no-op).
+func (v *Vertex) AddProperty(key string, val Value) { v.props[key] = addValue(v.props[key], val) }
+
+// Property returns the first value of a vertex key.
+func (v *Vertex) Property(key string) (Value, bool) {
+	vals := v.props[key]
+	if len(vals) == 0 {
+		return Value{}, false
+	}
+	return vals[0], true
+}
+
+// Values returns all values of a vertex key.
+func (v *Vertex) Values(key string) []Value { return v.props[key] }
+
+// RemoveProperty deletes all values of a vertex key.
+func (v *Vertex) RemoveProperty(key string) { delete(v.props, key) }
+
+// Keys returns the vertex's property keys, sorted.
+func (v *Vertex) Keys() []string { return sortedKeys(v.props) }
+
+// NumProperties returns the number of key/value PAIRS on the vertex
+// (multi-valued keys count once per value).
+func (v *Vertex) NumProperties() int { return countPairs(v.props) }
+
+// SetProperty replaces all values of an edge key with a single value.
+func (e *Edge) SetProperty(key string, val Value) { e.props[key] = []Value{val} }
+
+// AddProperty adds one more value for the key (set semantics).
+func (e *Edge) AddProperty(key string, val Value) { e.props[key] = addValue(e.props[key], val) }
+
+// Property returns the first value of an edge key.
+func (e *Edge) Property(key string) (Value, bool) {
+	vals := e.props[key]
+	if len(vals) == 0 {
+		return Value{}, false
+	}
+	return vals[0], true
+}
+
+// Values returns all values of an edge key.
+func (e *Edge) Values(key string) []Value { return e.props[key] }
+
+// RemoveProperty deletes all values of an edge key.
+func (e *Edge) RemoveProperty(key string) { delete(e.props, key) }
+
+// Keys returns the edge's property keys, sorted.
+func (e *Edge) Keys() []string { return sortedKeys(e.props) }
+
+// NumProperties returns the number of key/value pairs on the edge.
+func (e *Edge) NumProperties() int { return countPairs(e.props) }
+
+func addValue(vals []Value, val Value) []Value {
+	for _, v := range vals {
+		if v == val {
+			return vals
+		}
+	}
+	return append(vals, val)
+}
+
+func countPairs(m map[string][]Value) int {
+	n := 0
+	for _, vals := range m {
+		n += len(vals)
+	}
+	return n
+}
+
+func sortedKeys(m map[string][]Value) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats summarizes a property graph the way Table 6 of the paper does.
+type Stats struct {
+	Vertices int
+	Edges    int
+	NodeKVs  int
+	EdgeKVs  int
+	// Labels and key counts feed the Table 2 cardinality formulas.
+	EdgeLabels   int
+	EdgeKeys     int
+	NodeKeys     int
+	EdgesWithKVs int
+	// Keys is the distinct union of edge and node keys (Table 2's
+	// "Distinct (eK UNION nK)").
+	Keys int
+	// SubjectVertices counts vertices that occur as an RDF subject
+	// after transformation: those with at least one KV, one outbound
+	// edge, or neither KVs nor edges (the isolated-vertex special case
+	// asserts a type triple for them).
+	SubjectVertices int
+}
+
+// ComputeStats derives the Table 6 / Table 2 cardinalities of the graph.
+func (g *Graph) ComputeStats() Stats {
+	st := Stats{Vertices: len(g.vertices), Edges: len(g.edges)}
+	labels := make(map[string]struct{})
+	eKeys := make(map[string]struct{})
+	nKeys := make(map[string]struct{})
+	g.Vertices(func(v *Vertex) bool {
+		st.NodeKVs += v.NumProperties()
+		for k := range v.props {
+			nKeys[k] = struct{}{}
+		}
+		if len(v.props) > 0 || len(v.out) > 0 || len(v.in) == 0 {
+			st.SubjectVertices++
+		}
+		return true
+	})
+	g.Edges(func(e *Edge) bool {
+		st.EdgeKVs += e.NumProperties()
+		labels[e.Label] = struct{}{}
+		if len(e.props) > 0 {
+			st.EdgesWithKVs++
+		}
+		for k := range e.props {
+			eKeys[k] = struct{}{}
+		}
+		return true
+	})
+	st.EdgeLabels = len(labels)
+	st.EdgeKeys = len(eKeys)
+	st.NodeKeys = len(nKeys)
+	union := make(map[string]struct{}, len(eKeys)+len(nKeys))
+	for k := range eKeys {
+		union[k] = struct{}{}
+	}
+	for k := range nKeys {
+		union[k] = struct{}{}
+	}
+	st.Keys = len(union)
+	return st
+}
+
+// DegreeDistribution returns histogram maps degree -> number of vertices
+// with that degree, for out- and in-degrees (Figure 4 of the paper).
+func (g *Graph) DegreeDistribution() (out, in map[int]int) {
+	out = make(map[int]int)
+	in = make(map[int]int)
+	g.Vertices(func(v *Vertex) bool {
+		out[len(v.out)]++
+		in[len(v.in)]++
+		return true
+	})
+	return out, in
+}

@@ -1,0 +1,421 @@
+package pg
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// figure1 builds the paper's Figure 1 sample graph.
+func figure1(t *testing.T) *Graph {
+	t.Helper()
+	g := NewGraph()
+	v1, err := g.AddVertexWithID(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := g.AddVertexWithID(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1.SetProperty("name", S("Amy"))
+	v1.SetProperty("age", I(23))
+	v2.SetProperty("name", S("Mira"))
+	v2.SetProperty("age", I(22))
+	e3, err := g.AddEdgeWithID(3, 1, 2, "follows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e3.SetProperty("since", I(2007))
+	e4, err := g.AddEdgeWithID(4, 1, 2, "knows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e4.SetProperty("firstMetAt", S("MIT"))
+	return g
+}
+
+func TestFigure1Construction(t *testing.T) {
+	g := figure1(t)
+	if g.NumVertices() != 2 || g.NumEdges() != 2 {
+		t.Fatalf("V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	name, ok := g.Vertex(1).Property("name")
+	if !ok || name.Str != "Amy" {
+		t.Errorf("v1 name = %v", name)
+	}
+	since, ok := g.Edge(3).Property("since")
+	if !ok || since.Int != 2007 {
+		t.Errorf("e3 since = %v", since)
+	}
+	if out := g.OutEdges(1); len(out) != 2 {
+		t.Errorf("out edges of v1 = %d", len(out))
+	}
+	if in := g.InEdges(2); len(in) != 2 {
+		t.Errorf("in edges of v2 = %d", len(in))
+	}
+	if g.Edge(3).Label != "follows" || g.Edge(4).Label != "knows" {
+		t.Error("labels wrong")
+	}
+}
+
+func TestSharedIDSpace(t *testing.T) {
+	g := figure1(t)
+	if _, err := g.AddVertexWithID(3); err == nil {
+		t.Error("vertex reusing edge id accepted")
+	}
+	if _, err := g.AddEdgeWithID(1, 1, 2, "x"); err == nil {
+		t.Error("edge reusing vertex id accepted")
+	}
+	v := g.AddVertex()
+	if v.ID != 5 {
+		t.Errorf("auto id = %d, want 5", v.ID)
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := NewGraph()
+	g.AddVertexWithID(1)
+	if _, err := g.AddEdge(1, 99, "x"); err == nil {
+		t.Error("edge to missing vertex accepted")
+	}
+	if _, err := g.AddEdge(99, 1, "x"); err == nil {
+		t.Error("edge from missing vertex accepted")
+	}
+	if _, err := g.AddEdge(1, 1, ""); err == nil {
+		t.Error("empty label accepted")
+	}
+	if _, err := g.AddVertexWithID(0); err == nil {
+		t.Error("zero vertex id accepted")
+	}
+	if _, err := g.AddEdgeWithID(-1, 1, 1, "x"); err == nil {
+		t.Error("negative edge id accepted")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	g := figure1(t)
+	if err := g.RemoveEdge(3); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 || g.Edge(3) != nil {
+		t.Error("edge not removed")
+	}
+	if len(g.OutEdges(1)) != 1 {
+		t.Error("adjacency not updated")
+	}
+	if err := g.RemoveEdge(3); err == nil {
+		t.Error("double remove succeeded")
+	}
+	if err := g.RemoveVertex(2); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1 || g.NumEdges() != 0 {
+		t.Errorf("V=%d E=%d after vertex removal", g.NumVertices(), g.NumEdges())
+	}
+	if err := g.RemoveVertex(2); err == nil {
+		t.Error("double vertex remove succeeded")
+	}
+}
+
+func TestProperties(t *testing.T) {
+	g := figure1(t)
+	v := g.Vertex(1)
+	if keys := v.Keys(); !reflect.DeepEqual(keys, []string{"age", "name"}) {
+		t.Errorf("keys = %v", keys)
+	}
+	v.RemoveProperty("age")
+	if _, ok := v.Property("age"); ok {
+		t.Error("property not removed")
+	}
+	if v.NumProperties() != 1 {
+		t.Errorf("props = %d", v.NumProperties())
+	}
+	e := g.Edge(4)
+	e.SetProperty("weight", F(0.5))
+	if w, ok := e.Property("weight"); !ok || w.Float != 0.5 {
+		t.Errorf("edge prop = %v", w)
+	}
+	e.RemoveProperty("weight")
+	if e.NumProperties() != 1 {
+		t.Errorf("edge props = %d", e.NumProperties())
+	}
+}
+
+func TestMultiValuedProperties(t *testing.T) {
+	g := NewGraph()
+	v, _ := g.AddVertexWithID(1)
+	v.AddProperty("hasTag", S("#a"))
+	v.AddProperty("hasTag", S("#b"))
+	v.AddProperty("hasTag", S("#a")) // set semantics: duplicate ignored
+	if vals := v.Values("hasTag"); len(vals) != 2 {
+		t.Fatalf("values = %v", vals)
+	}
+	if v.NumProperties() != 2 {
+		t.Errorf("NumProperties = %d", v.NumProperties())
+	}
+	if first, ok := v.Property("hasTag"); !ok || first.Str != "#a" {
+		t.Errorf("first value = %v", first)
+	}
+	v.SetProperty("hasTag", S("#only"))
+	if vals := v.Values("hasTag"); len(vals) != 1 || vals[0].Str != "#only" {
+		t.Errorf("SetProperty should replace: %v", vals)
+	}
+	// Multi-valued KVs round-trip through the relational form.
+	v.AddProperty("hasTag", S("#second"))
+	g2, err := FromRelational(g.ToRelational())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals := g2.Vertex(1).Values("hasTag"); len(vals) != 2 {
+		t.Errorf("relational round-trip values = %v", vals)
+	}
+	st := g.ComputeStats()
+	if st.NodeKVs != 2 {
+		t.Errorf("NodeKVs = %d (pairs, not keys)", st.NodeKVs)
+	}
+}
+
+func TestValueHelpers(t *testing.T) {
+	cases := []struct {
+		v       Value
+		str     string
+		relType string
+	}{
+		{S("Amy"), "Amy", "VARCHAR"},
+		{I(23), "23", "NUMBER"},
+		{F(2.5), "2.5", "DOUBLE"},
+		{B(true), "true", "BOOLEAN"},
+	}
+	for _, c := range cases {
+		if c.v.String() != c.str {
+			t.Errorf("String() = %q want %q", c.v.String(), c.str)
+		}
+		if c.v.RelType() != c.relType {
+			t.Errorf("RelType() = %q want %q", c.v.RelType(), c.relType)
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g := figure1(t)
+	st := g.ComputeStats()
+	want := Stats{
+		Vertices: 2, Edges: 2, NodeKVs: 4, EdgeKVs: 2,
+		EdgeLabels: 2, EdgeKeys: 2, NodeKeys: 2, EdgesWithKVs: 2,
+		Keys: 4, SubjectVertices: 2,
+	}
+	if st != want {
+		t.Errorf("stats = %+v, want %+v", st, want)
+	}
+}
+
+func TestDegreeDistribution(t *testing.T) {
+	g := figure1(t)
+	out, in := g.DegreeDistribution()
+	if out[2] != 1 || out[0] != 1 {
+		t.Errorf("out = %v", out)
+	}
+	if in[2] != 1 || in[0] != 1 {
+		t.Errorf("in = %v", in)
+	}
+}
+
+func TestIterationEarlyStop(t *testing.T) {
+	g := figure1(t)
+	n := 0
+	g.Vertices(func(*Vertex) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("vertex early stop visited %d", n)
+	}
+	n = 0
+	g.Edges(func(*Edge) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("edge early stop visited %d", n)
+	}
+}
+
+func TestToRelationalMatchesFigure3(t *testing.T) {
+	g := figure1(t)
+	r := g.ToRelational()
+	if len(r.Edges) != 2 {
+		t.Fatalf("edge rows = %d", len(r.Edges))
+	}
+	if r.Edges[0] != (EdgeRow{StartVertex: 1, Edge: 3, Label: "follows", EndVertex: 2}) {
+		t.Errorf("edge row = %+v", r.Edges[0])
+	}
+	if len(r.ObjKVs) != 6 {
+		t.Fatalf("kv rows = %d", len(r.ObjKVs))
+	}
+	// The since KV row must carry NUMBER type, as in Figure 3.
+	found := false
+	for _, kv := range r.ObjKVs {
+		if kv.ObjID == 3 && kv.Key == "since" {
+			found = true
+			if kv.Type != "NUMBER" || kv.Value != "2007" {
+				t.Errorf("since row = %+v", kv)
+			}
+		}
+	}
+	if !found {
+		t.Error("since KV row missing")
+	}
+}
+
+func TestRelationalRoundTrip(t *testing.T) {
+	g := figure1(t)
+	g.AddVertexWithID(10) // isolated vertex special case
+	r := g.ToRelational()
+	if len(r.IsolatedVertices) != 1 || r.IsolatedVertices[0] != 10 {
+		t.Fatalf("isolated = %v", r.IsolatedVertices)
+	}
+	g2, err := FromRelational(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, g, g2)
+}
+
+func TestRelationalTSVRoundTrip(t *testing.T) {
+	g := figure1(t)
+	r := g.ToRelational()
+	var eb, kb bytes.Buffer
+	if err := r.WriteEdges(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteObjKVs(&kb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(eb.String(), "StartVertex\tEdge\tLabel\tEndVertex\n") {
+		t.Errorf("edges header: %q", eb.String()[:40])
+	}
+	edges, err := ReadEdges(&eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kvs, err := ReadObjKVs(&kb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := FromRelational(&Relational{Edges: edges, ObjKVs: kvs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, g, g2)
+}
+
+func TestReadEdgesErrors(t *testing.T) {
+	if _, err := ReadEdges(strings.NewReader("h\n1\t2\t3\n")); err == nil {
+		t.Error("short row accepted")
+	}
+	if _, err := ReadEdges(strings.NewReader("h\nx\t2\tfollows\t3\n")); err == nil {
+		t.Error("bad id accepted")
+	}
+	if _, err := ReadObjKVs(strings.NewReader("h\n1\tk\n")); err == nil {
+		t.Error("short kv row accepted")
+	}
+	if _, err := ReadObjKVs(strings.NewReader("h\nx\tk\tVARCHAR\tv\n")); err == nil {
+		t.Error("bad kv id accepted")
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	if v, err := ParseValue("NUMBER", "42"); err != nil || v.Int != 42 {
+		t.Errorf("NUMBER: %v %v", v, err)
+	}
+	if v, err := ParseValue("NUMBER", "2.5"); err != nil || v.Float != 2.5 {
+		t.Errorf("NUMBER float: %v %v", v, err)
+	}
+	if _, err := ParseValue("NUMBER", "abc"); err == nil {
+		t.Error("bad NUMBER accepted")
+	}
+	if _, err := ParseValue("BLOB", "x"); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if v, err := ParseValue("BOOLEAN", "true"); err != nil || !v.Bool {
+		t.Errorf("BOOLEAN: %v %v", v, err)
+	}
+}
+
+func assertGraphsEqual(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("size mismatch: V %d/%d E %d/%d", a.NumVertices(), b.NumVertices(), a.NumEdges(), b.NumEdges())
+	}
+	a.Vertices(func(v *Vertex) bool {
+		w := b.Vertex(v.ID)
+		if w == nil {
+			t.Fatalf("vertex %d missing", v.ID)
+		}
+		if !reflect.DeepEqual(v.props, w.props) {
+			t.Fatalf("vertex %d props differ: %v vs %v", v.ID, v.props, w.props)
+		}
+		return true
+	})
+	a.Edges(func(e *Edge) bool {
+		f := b.Edge(e.ID)
+		if f == nil {
+			t.Fatalf("edge %d missing", e.ID)
+		}
+		if e.Label != f.Label || e.Src != f.Src || e.Dst != f.Dst || !reflect.DeepEqual(e.props, f.props) {
+			t.Fatalf("edge %d differs", e.ID)
+		}
+		return true
+	})
+}
+
+// RandomGraph builds a random property graph for property-based tests.
+func RandomGraph(rng *rand.Rand, nV, nE int) *Graph {
+	g := NewGraph()
+	ids := make([]ID, 0, nV)
+	for i := 0; i < nV; i++ {
+		v := g.AddVertex()
+		ids = append(ids, v.ID)
+		for k := 0; k < rng.Intn(4); k++ {
+			v.SetProperty(fmt.Sprintf("k%d", rng.Intn(6)), randomValue(rng))
+		}
+	}
+	labels := []string{"follows", "knows", "likes"}
+	for i := 0; i < nE && nV > 0; i++ {
+		src := ids[rng.Intn(len(ids))]
+		dst := ids[rng.Intn(len(ids))]
+		e, err := g.AddEdge(src, dst, labels[rng.Intn(len(labels))])
+		if err != nil {
+			panic(err)
+		}
+		for k := 0; k < rng.Intn(3); k++ {
+			e.SetProperty(fmt.Sprintf("k%d", rng.Intn(6)), randomValue(rng))
+		}
+	}
+	return g
+}
+
+func randomValue(rng *rand.Rand) Value {
+	switch rng.Intn(4) {
+	case 0:
+		return I(rng.Int63n(1000))
+	case 1:
+		return F(float64(rng.Intn(100)) / 4)
+	case 2:
+		return B(rng.Intn(2) == 0)
+	default:
+		return S(fmt.Sprintf("val%d", rng.Intn(50)))
+	}
+}
+
+// TestRelationalRoundTripRandom is part of invariant 1: PG -> relational
+// -> PG is lossless on random graphs.
+func TestRelationalRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 25; trial++ {
+		g := RandomGraph(rng, 1+rng.Intn(30), rng.Intn(60))
+		g2, err := FromRelational(g.ToRelational())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		assertGraphsEqual(t, g, g2)
+	}
+}

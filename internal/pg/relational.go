@@ -1,0 +1,245 @@
+package pg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the representative relational schema of §2.2 /
+// Figure 3: an Edges(StartVertex, Edge, Label, EndVertex) table and an
+// ObjKVs(ObjId, Key, Type, Value) table, serialized as tab-separated
+// text with a header line.
+
+// EdgeRow is one row of the Edges table.
+type EdgeRow struct {
+	StartVertex ID
+	Edge        ID
+	Label       string
+	EndVertex   ID
+}
+
+// KVRow is one row of the ObjKVs table. ObjId may reference a vertex or
+// an edge (shared id space).
+type KVRow struct {
+	ObjID ID
+	Key   string
+	Type  string
+	Value string
+}
+
+// Relational is the two-table relational form of a property graph.
+type Relational struct {
+	Edges  []EdgeRow
+	ObjKVs []KVRow
+	// IsolatedVertices lists vertices with no KVs and no incident
+	// edges, which the relational form cannot otherwise represent.
+	IsolatedVertices []ID
+}
+
+// ToRelational converts the graph to the relational representation.
+func (g *Graph) ToRelational() *Relational {
+	r := &Relational{}
+	g.Edges(func(e *Edge) bool {
+		r.Edges = append(r.Edges, EdgeRow{StartVertex: e.Src, Edge: e.ID, Label: e.Label, EndVertex: e.Dst})
+		for _, k := range e.Keys() {
+			for _, v := range e.Values(k) {
+				r.ObjKVs = append(r.ObjKVs, KVRow{ObjID: e.ID, Key: k, Type: v.RelType(), Value: v.String()})
+			}
+		}
+		return true
+	})
+	g.Vertices(func(v *Vertex) bool {
+		for _, k := range v.Keys() {
+			for _, val := range v.Values(k) {
+				r.ObjKVs = append(r.ObjKVs, KVRow{ObjID: v.ID, Key: k, Type: val.RelType(), Value: val.String()})
+			}
+		}
+		if v.NumProperties() == 0 && len(v.out) == 0 && len(v.in) == 0 {
+			r.IsolatedVertices = append(r.IsolatedVertices, v.ID)
+		}
+		return true
+	})
+	sort.Slice(r.IsolatedVertices, func(i, j int) bool { return r.IsolatedVertices[i] < r.IsolatedVertices[j] })
+	return r
+}
+
+// FromRelational reconstructs a property graph from relational form.
+// Vertices are created implicitly from edge endpoints and vertex KV rows
+// (a KV row whose ObjId is not an edge id denotes a vertex).
+func FromRelational(r *Relational) (*Graph, error) {
+	g := NewGraph()
+	edgeIDs := make(map[ID]struct{}, len(r.Edges))
+	for _, e := range r.Edges {
+		edgeIDs[e.Edge] = struct{}{}
+	}
+	ensureVertex := func(id ID) error {
+		if g.Vertex(id) != nil {
+			return nil
+		}
+		_, err := g.AddVertexWithID(id)
+		return err
+	}
+	for _, e := range r.Edges {
+		if err := ensureVertex(e.StartVertex); err != nil {
+			return nil, err
+		}
+		if err := ensureVertex(e.EndVertex); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range r.Edges {
+		if _, err := g.AddEdgeWithID(e.Edge, e.StartVertex, e.EndVertex, e.Label); err != nil {
+			return nil, err
+		}
+	}
+	for _, id := range r.IsolatedVertices {
+		if err := ensureVertex(id); err != nil {
+			return nil, err
+		}
+	}
+	for _, kv := range r.ObjKVs {
+		val, err := ParseValue(kv.Type, kv.Value)
+		if err != nil {
+			return nil, fmt.Errorf("pg: ObjKVs row for %d/%s: %w", kv.ObjID, kv.Key, err)
+		}
+		if _, isEdge := edgeIDs[kv.ObjID]; isEdge {
+			g.Edge(kv.ObjID).AddProperty(kv.Key, val)
+			continue
+		}
+		if err := ensureVertex(kv.ObjID); err != nil {
+			return nil, err
+		}
+		g.Vertex(kv.ObjID).AddProperty(kv.Key, val)
+	}
+	return g, nil
+}
+
+// ParseValue parses a relational (Type, Value) pair into a typed Value.
+func ParseValue(relType, raw string) (Value, error) {
+	switch strings.ToUpper(relType) {
+	case "", "VARCHAR", "VARCHAR2", "STRING", "CHAR":
+		return S(raw), nil
+	case "NUMBER", "INT", "INTEGER":
+		i, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			f, ferr := strconv.ParseFloat(raw, 64)
+			if ferr != nil {
+				return Value{}, fmt.Errorf("bad NUMBER %q", raw)
+			}
+			return F(f), nil
+		}
+		return I(i), nil
+	case "DOUBLE", "FLOAT":
+		f, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("bad DOUBLE %q", raw)
+		}
+		return F(f), nil
+	case "BOOLEAN", "BOOL":
+		switch strings.ToLower(raw) {
+		case "true", "1":
+			return B(true), nil
+		case "false", "0":
+			return B(false), nil
+		}
+		return Value{}, fmt.Errorf("bad BOOLEAN %q", raw)
+	default:
+		return Value{}, fmt.Errorf("unsupported relational type %q", relType)
+	}
+}
+
+// WriteEdges serializes the Edges table as TSV with a header.
+func (r *Relational) WriteEdges(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "StartVertex\tEdge\tLabel\tEndVertex"); err != nil {
+		return err
+	}
+	for _, e := range r.Edges {
+		if strings.ContainsAny(e.Label, "\t\n") {
+			return fmt.Errorf("pg: label %q contains a TSV delimiter", e.Label)
+		}
+		if _, err := fmt.Fprintf(bw, "%d\t%d\t%s\t%d\n", e.StartVertex, e.Edge, e.Label, e.EndVertex); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteObjKVs serializes the ObjKVs table as TSV with a header.
+func (r *Relational) WriteObjKVs(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "ObjId\tKey\tType\tValue"); err != nil {
+		return err
+	}
+	for _, kv := range r.ObjKVs {
+		if strings.ContainsAny(kv.Key, "\t\n") || strings.ContainsAny(kv.Value, "\t\n") {
+			return fmt.Errorf("pg: KV row %d/%s contains a TSV delimiter", kv.ObjID, kv.Key)
+		}
+		if _, err := fmt.Fprintf(bw, "%d\t%s\t%s\t%s\n", kv.ObjID, kv.Key, kv.Type, kv.Value); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdges parses an Edges TSV table.
+func ReadEdges(rd io.Reader) ([]EdgeRow, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var rows []EdgeRow
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), "\r")
+		if line == 1 || text == "" {
+			continue // header / blank
+		}
+		parts := strings.Split(text, "\t")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("pg: edges line %d: want 4 columns, got %d", line, len(parts))
+		}
+		sv, err1 := strconv.ParseInt(parts[0], 10, 64)
+		eid, err2 := strconv.ParseInt(parts[1], 10, 64)
+		ev, err3 := strconv.ParseInt(parts[3], 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("pg: edges line %d: bad id", line)
+		}
+		rows = append(rows, EdgeRow{StartVertex: ID(sv), Edge: ID(eid), Label: parts[2], EndVertex: ID(ev)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// ReadObjKVs parses an ObjKVs TSV table.
+func ReadObjKVs(rd io.Reader) ([]KVRow, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var rows []KVRow
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), "\r")
+		if line == 1 || text == "" {
+			continue
+		}
+		parts := strings.Split(text, "\t")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("pg: objkvs line %d: want 4 columns, got %d", line, len(parts))
+		}
+		id, err := strconv.ParseInt(parts[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("pg: objkvs line %d: bad id", line)
+		}
+		rows = append(rows, KVRow{ObjID: ID(id), Key: parts[1], Type: parts[2], Value: parts[3]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

@@ -1,0 +1,121 @@
+package pgrdf
+
+import (
+	"repro/internal/pg"
+	"repro/internal/rdf"
+)
+
+// Cardinalities mirrors Table 2: the predicted characteristics of the
+// RDF dataset generated from a property graph under one PG-as-RDF model.
+type Cardinalities struct {
+	// NamedGraphs is the number of distinct named graphs (E for NG, 0
+	// otherwise).
+	NamedGraphs int
+	// ObjPropQuads is the count of object-property triples/quads that
+	// encode topology edges: 4*E (RF), E (NG), 3*E (SP).
+	ObjPropQuads int
+	// DataPropTriples is eKV + nKV in every model.
+	DataPropTriples int
+	// DistinctSubjects is the distinct subject count: V' + E for RF and
+	// SP (every edge IRI occurs as a subject), V' + E1 for NG (only
+	// edges with at least one KV), where V' counts vertices that occur
+	// as subjects.
+	DistinctSubjects int
+	// DistinctObjProps is the distinct object-property count: eL+3
+	// (RF adds rdf:subject/predicate/object), eL (NG), eL+E+1 (SP adds
+	// one property per edge plus rdfs:subPropertyOf).
+	DistinctObjProps int
+	// DistinctDataProps is distinct(eK UNION nK) in every model.
+	DistinctDataProps int
+}
+
+// PredictCardinalities evaluates the Table 2 formulas on a property
+// graph's statistics. The formulas assume the paper's default options
+// (explicit -s-p-o, no single-triple optimization).
+func PredictCardinalities(st pg.Stats, scheme Scheme) Cardinalities {
+	c := Cardinalities{
+		DataPropTriples:   st.EdgeKVs + st.NodeKVs,
+		DistinctDataProps: st.Keys,
+	}
+	switch scheme {
+	case RF:
+		c.ObjPropQuads = 4 * st.Edges
+		c.DistinctSubjects = st.SubjectVertices + st.Edges
+		c.DistinctObjProps = st.EdgeLabels + 3
+	case NG:
+		c.NamedGraphs = st.Edges
+		c.ObjPropQuads = st.Edges
+		c.DistinctSubjects = st.SubjectVertices + st.EdgesWithKVs
+		c.DistinctObjProps = st.EdgeLabels
+	case SP:
+		c.ObjPropQuads = 3 * st.Edges
+		c.DistinctSubjects = st.SubjectVertices + st.Edges
+		c.DistinctObjProps = st.EdgeLabels + st.Edges + 1
+	}
+	return c
+}
+
+// MeasureCardinalities computes the actual Table 2 quantities from a
+// generated dataset, for validating the predictor (invariant 3) and for
+// reporting Tables 7 and 8.
+func MeasureCardinalities(ds *Dataset) Cardinalities {
+	var c Cardinalities
+	graphs := make(map[string]struct{})
+	subjects := make(map[string]struct{})
+	objProps := make(map[string]struct{})
+	dataProps := make(map[string]struct{})
+	for _, q := range ds.All() {
+		subjects[q.S.String()] = struct{}{}
+		if !q.G.IsZero() {
+			graphs[q.G.String()] = struct{}{}
+		}
+		if q.P.Value == rdf.RDFType {
+			continue // isolated-vertex typing is outside Table 2
+		}
+		if q.O.IsLiteral() {
+			c.DataPropTriples++
+			dataProps[q.P.Value] = struct{}{}
+		} else {
+			c.ObjPropQuads++
+			objProps[q.P.Value] = struct{}{}
+		}
+	}
+	c.NamedGraphs = len(graphs)
+	c.DistinctSubjects = len(subjects)
+	c.DistinctObjProps = len(objProps)
+	c.DistinctDataProps = len(dataProps)
+	return c
+}
+
+// TripleCounts mirrors Table 7: per-label topology triples and per-key
+// KV triple counts for a transformed dataset.
+type TripleCounts struct {
+	ByLabel map[string]int // topology edges per label
+	ByKey   map[string]int // KV triples per key (node + edge)
+	Total   int            // total triples/quads in the dataset
+}
+
+// CountTriples computes Table 7 quantities from a dataset using the
+// converter's vocabulary to recognize label and key predicates.
+func CountTriples(ds *Dataset, vocab Vocabulary) TripleCounts {
+	tc := TripleCounts{ByLabel: make(map[string]int), ByKey: make(map[string]int), Total: ds.Len()}
+	count := func(q rdf.Quad) {
+		p := q.P.Value
+		if len(p) > len(vocab.RelNS) && p[:len(vocab.RelNS)] == vocab.RelNS && q.O.IsResource() {
+			tc.ByLabel[p[len(vocab.RelNS):]]++
+		}
+		if len(p) > len(vocab.KeyNS) && p[:len(vocab.KeyNS)] == vocab.KeyNS {
+			tc.ByKey[p[len(vocab.KeyNS):]]++
+		}
+	}
+	for _, q := range ds.Topology {
+		count(q)
+	}
+	for _, q := range ds.NodeKV {
+		count(q)
+	}
+	for _, q := range ds.EdgeKV {
+		count(q)
+	}
+	return tc
+}

@@ -1,0 +1,19 @@
+package pgrdf
+
+import "fmt"
+
+// Migrate re-encodes a transformed dataset from its scheme into another
+// scheme, via the lossless reverse transformation. This is what a
+// deployment does when switching models after measuring the §4 trade-offs
+// (e.g. moving from SP to NG to reclaim the per-edge anchor triples).
+func Migrate(ds *Dataset, vocab Vocabulary, to Scheme, opts Options) (*Dataset, error) {
+	if ds.Scheme == to {
+		return nil, fmt.Errorf("pgrdf: dataset is already in the %s scheme", to)
+	}
+	g, err := FromRDF(ds, vocab)
+	if err != nil {
+		return nil, fmt.Errorf("pgrdf: migrating from %s: %w", ds.Scheme, err)
+	}
+	conv := &Converter{Scheme: to, Vocab: vocab, Opts: opts}
+	return conv.Convert(g), nil
+}

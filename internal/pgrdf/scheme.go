@@ -1,0 +1,234 @@
+// Package pgrdf implements the paper's contribution: transforming
+// property graphs into RDF so that an RDF store can serve as a property
+// graph backend, queryable with standard SPARQL.
+//
+// Three PG-as-RDF models are implemented (§2, Table 1):
+//
+//   - RF: (extended) reification — each edge b-i-r-d becomes the triples
+//     -e-rdf:subject-s, -e-rdf:predicate-p, -e-rdf:object-o plus the
+//     explicitly asserted -s-p-o;
+//   - NG: named graphs — each edge becomes a single quad e-s-p-o, and
+//     the edge's KV triples are clustered into the named graph e;
+//   - SP: subproperties — each edge becomes -s-e-o plus
+//     -e-rdfs:subPropertyOf-p plus the asserted -s-p-o.
+//
+// Node KVs are -n-K-V triples in all models; edge KVs are -e-K-V
+// triples (quads e-e-K-V in NG). A vertex with no KVs and no incident
+// edges is represented as -v-rdf:type-rdf:Resource in every model.
+package pgrdf
+
+import (
+	"fmt"
+
+	"repro/internal/pg"
+	"repro/internal/rdf"
+)
+
+// Scheme selects a PG-as-RDF model.
+type Scheme int
+
+// The three PG-as-RDF models of §2.3.
+const (
+	RF Scheme = iota // (extended) reification based
+	NG               // named graph based
+	SP               // subproperty based
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case RF:
+		return "RF"
+	case NG:
+		return "NG"
+	case SP:
+		return "SP"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Schemes lists all three models.
+var Schemes = []Scheme{RF, NG, SP}
+
+// Vocabulary controls IRI generation (§2.2): vertex ids map into the
+// vertex namespace, edge ids into the edge namespace, labels into the
+// relationship namespace and keys into the key namespace.
+type Vocabulary struct {
+	VertexNS     string // default http://pg/
+	VertexPrefix string // default "v" (the Twitter dataset uses "n")
+	EdgeNS       string // default http://pg/
+	EdgePrefix   string // default "e"
+	RelNS        string // default http://pg/r/
+	KeyNS        string // default http://pg/k/
+}
+
+// DefaultVocabulary returns the paper's §2.2 vocabulary.
+func DefaultVocabulary() Vocabulary {
+	return Vocabulary{
+		VertexNS:     rdf.PGNS,
+		VertexPrefix: "v",
+		EdgeNS:       rdf.PGNS,
+		EdgePrefix:   "e",
+		RelNS:        rdf.RelNS,
+		KeyNS:        rdf.KeyNS,
+	}
+}
+
+// VertexIRI maps a vertex id to its IRI (e.g. 1 -> <http://pg/v1>).
+func (v Vocabulary) VertexIRI(id pg.ID) rdf.Term {
+	return rdf.NewIRI(fmt.Sprintf("%s%s%d", v.VertexNS, v.VertexPrefix, id))
+}
+
+// EdgeIRI maps an edge id to its IRI (e.g. 3 -> <http://pg/e3>).
+func (v Vocabulary) EdgeIRI(id pg.ID) rdf.Term {
+	return rdf.NewIRI(fmt.Sprintf("%s%s%d", v.EdgeNS, v.EdgePrefix, id))
+}
+
+// LabelIRI maps an edge label to its relationship IRI.
+func (v Vocabulary) LabelIRI(label string) rdf.Term {
+	return rdf.NewIRI(v.RelNS + label)
+}
+
+// KeyIRI maps a property key to its predicate IRI. No distinction is
+// made between edge and node keys (§2.2).
+func (v Vocabulary) KeyIRI(key string) rdf.Term {
+	return rdf.NewIRI(v.KeyNS + key)
+}
+
+// ValueLiteral maps a property value to an RDF literal with an xsd
+// datatype (§2.2, e.g. 23 -> "23"^^xsd:int).
+func ValueLiteral(val pg.Value) rdf.Term {
+	switch val.Kind {
+	case pg.KindInt:
+		if val.Int >= -1<<31 && val.Int < 1<<31 {
+			return rdf.NewInt(int32(val.Int))
+		}
+		return rdf.NewInteger(val.Int)
+	case pg.KindFloat:
+		return rdf.NewDouble(val.Float)
+	case pg.KindBool:
+		return rdf.NewBoolean(val.Bool)
+	default:
+		return rdf.NewLiteral(val.Str)
+	}
+}
+
+// Options tune the transformation.
+type Options struct {
+	// ExplicitSPO asserts the derivable -s-p-o triple in the RF and SP
+	// models (§2 Discussion), allowing plain `?x rel:follows ?y`
+	// patterns. Disabling it is the paper's implied storage
+	// optimization, at the cost of query rewriting. Default true.
+	ExplicitSPO bool
+	// SingleTripleWhenNoKVs represents an edge without KVs as just the
+	// -s-p-o triple (the optimization Table 2's note mentions but does
+	// not account for). Default false, matching the paper's accounting.
+	SingleTripleWhenNoKVs bool
+}
+
+// DefaultOptions matches the paper's accounting.
+func DefaultOptions() Options { return Options{ExplicitSPO: true} }
+
+// Dataset is the transformed RDF, split into the three partitions of
+// §3.2: topology, node-KV triples and edge-KV triples (the SP model's
+// -s-e-o and -e-sPO-p anchors live in the edge-KV partition, per §3.2).
+type Dataset struct {
+	Scheme   Scheme
+	Topology []rdf.Quad
+	NodeKV   []rdf.Quad
+	EdgeKV   []rdf.Quad
+}
+
+// All returns every quad of the dataset (topology first).
+func (d *Dataset) All() []rdf.Quad {
+	out := make([]rdf.Quad, 0, len(d.Topology)+len(d.NodeKV)+len(d.EdgeKV))
+	out = append(out, d.Topology...)
+	out = append(out, d.NodeKV...)
+	out = append(out, d.EdgeKV...)
+	return out
+}
+
+// Len returns the total number of quads.
+func (d *Dataset) Len() int { return len(d.Topology) + len(d.NodeKV) + len(d.EdgeKV) }
+
+// Converter transforms property graphs to RDF under one scheme.
+type Converter struct {
+	Scheme Scheme
+	Vocab  Vocabulary
+	Opts   Options
+}
+
+// NewConverter returns a converter with the default vocabulary/options.
+func NewConverter(s Scheme) *Converter {
+	return &Converter{Scheme: s, Vocab: DefaultVocabulary(), Opts: DefaultOptions()}
+}
+
+// Convert transforms the graph. The emitted quads follow Table 1
+// exactly; see the package comment for the per-scheme shapes.
+func (c *Converter) Convert(g *pg.Graph) *Dataset {
+	ds := &Dataset{Scheme: c.Scheme}
+	rdfType := rdf.NewIRI(rdf.RDFType)
+	rdfResource := rdf.NewIRI(rdf.RDFSResource)
+
+	g.Edges(func(e *pg.Edge) bool {
+		s := c.Vocab.VertexIRI(e.Src)
+		o := c.Vocab.VertexIRI(e.Dst)
+		p := c.Vocab.LabelIRI(e.Label)
+		eIRI := c.Vocab.EdgeIRI(e.ID)
+		noKVs := e.NumProperties() == 0
+
+		if c.Opts.SingleTripleWhenNoKVs && noKVs {
+			ds.Topology = append(ds.Topology, rdf.Quad{S: s, P: p, O: o})
+			return true
+		}
+
+		switch c.Scheme {
+		case RF:
+			ds.EdgeKV = append(ds.EdgeKV,
+				rdf.Quad{S: eIRI, P: rdf.NewIRI(rdf.RDFSubject), O: s},
+				rdf.Quad{S: eIRI, P: rdf.NewIRI(rdf.RDFPredicate), O: p},
+				rdf.Quad{S: eIRI, P: rdf.NewIRI(rdf.RDFObject), O: o},
+			)
+			if c.Opts.ExplicitSPO {
+				ds.Topology = append(ds.Topology, rdf.Quad{S: s, P: p, O: o})
+			}
+		case NG:
+			ds.Topology = append(ds.Topology, rdf.NewQuad(s, p, o, eIRI))
+		case SP:
+			ds.EdgeKV = append(ds.EdgeKV,
+				rdf.Quad{S: s, P: eIRI, O: o},
+				rdf.Quad{S: eIRI, P: rdf.NewIRI(rdf.RDFSSubPropertyOf), O: p},
+			)
+			if c.Opts.ExplicitSPO {
+				ds.Topology = append(ds.Topology, rdf.Quad{S: s, P: p, O: o})
+			}
+		}
+
+		for _, key := range e.Keys() {
+			for _, val := range e.Values(key) {
+				kv := rdf.Quad{S: eIRI, P: c.Vocab.KeyIRI(key), O: ValueLiteral(val)}
+				if c.Scheme == NG {
+					// Cluster edge KVs into the edge's named graph (§2).
+					kv.G = eIRI
+				}
+				ds.EdgeKV = append(ds.EdgeKV, kv)
+			}
+		}
+		return true
+	})
+
+	g.Vertices(func(v *pg.Vertex) bool {
+		n := c.Vocab.VertexIRI(v.ID)
+		for _, key := range v.Keys() {
+			for _, val := range v.Values(key) {
+				ds.NodeKV = append(ds.NodeKV, rdf.Quad{S: n, P: c.Vocab.KeyIRI(key), O: ValueLiteral(val)})
+			}
+		}
+		// Special case (§2.3): isolated vertex with no KVs.
+		if v.NumProperties() == 0 && len(g.OutEdges(v.ID)) == 0 && len(g.InEdges(v.ID)) == 0 {
+			ds.Topology = append(ds.Topology, rdf.Quad{S: n, P: rdfType, O: rdfResource})
+		}
+		return true
+	})
+	return ds
+}

@@ -1,0 +1,346 @@
+package pgrdf
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/pg"
+	"repro/internal/rdf"
+)
+
+// figure1 builds the paper's Figure 1 sample graph.
+func figure1(t *testing.T) *pg.Graph {
+	t.Helper()
+	g := pg.NewGraph()
+	mustVertex(t, g, 1, map[string]pg.Value{"name": pg.S("Amy"), "age": pg.I(23)})
+	mustVertex(t, g, 2, map[string]pg.Value{"name": pg.S("Mira"), "age": pg.I(22)})
+	mustEdge(t, g, 3, 1, 2, "follows", map[string]pg.Value{"since": pg.I(2007)})
+	mustEdge(t, g, 4, 1, 2, "knows", map[string]pg.Value{"firstMetAt": pg.S("MIT")})
+	return g
+}
+
+func mustVertex(t *testing.T, g *pg.Graph, id pg.ID, props map[string]pg.Value) {
+	t.Helper()
+	v, err := g.AddVertexWithID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, val := range props {
+		v.SetProperty(k, val)
+	}
+}
+
+func mustEdge(t *testing.T, g *pg.Graph, id, src, dst pg.ID, label string, props map[string]pg.Value) {
+	t.Helper()
+	e, err := g.AddEdgeWithID(id, src, dst, label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, val := range props {
+		e.SetProperty(k, val)
+	}
+}
+
+func quadSet(quads []rdf.Quad) map[string]bool {
+	m := make(map[string]bool, len(quads))
+	for _, q := range quads {
+		m[q.String()] = true
+	}
+	return m
+}
+
+func TestVocabularyIRIs(t *testing.T) {
+	v := DefaultVocabulary()
+	if got := v.VertexIRI(1).Value; got != "http://pg/v1" {
+		t.Errorf("vertex IRI = %q", got)
+	}
+	if got := v.EdgeIRI(3).Value; got != "http://pg/e3" {
+		t.Errorf("edge IRI = %q", got)
+	}
+	if got := v.LabelIRI("follows").Value; got != "http://pg/r/follows" {
+		t.Errorf("label IRI = %q", got)
+	}
+	if got := v.KeyIRI("age").Value; got != "http://pg/k/age" {
+		t.Errorf("key IRI = %q", got)
+	}
+	// Twitter-style vocabulary.
+	v.VertexPrefix = "n"
+	if got := v.VertexIRI(6160742).Value; got != "http://pg/n6160742" {
+		t.Errorf("twitter vertex IRI = %q", got)
+	}
+}
+
+func TestValueLiteralDatatypes(t *testing.T) {
+	if !ValueLiteral(pg.I(23)).Equal(rdf.NewInt(23)) {
+		t.Error("small int should map to xsd:int (paper §2.2)")
+	}
+	if !ValueLiteral(pg.I(1 << 40)).Equal(rdf.NewInteger(1 << 40)) {
+		t.Error("large int should map to xsd:integer")
+	}
+	if !ValueLiteral(pg.S("MIT")).Equal(rdf.NewLiteral("MIT")) {
+		t.Error("string mapping")
+	}
+	if !ValueLiteral(pg.B(true)).Equal(rdf.NewBoolean(true)) {
+		t.Error("bool mapping")
+	}
+	if !ValueLiteral(pg.F(2.5)).Equal(rdf.NewDouble(2.5)) {
+		t.Error("float mapping")
+	}
+}
+
+// TestNGShapes checks Table 1's NG row on Figure 1.
+func TestNGShapes(t *testing.T) {
+	ds := NewConverter(NG).Convert(figure1(t))
+	topo := quadSet(ds.Topology)
+	if !topo[`<http://pg/v1> <http://pg/r/follows> <http://pg/v2> <http://pg/e3>`] {
+		t.Errorf("e-s-p-o quad missing; topology = %v", ds.Topology)
+	}
+	if len(ds.Topology) != 2 {
+		t.Errorf("topology quads = %d, want 2 (one per edge)", len(ds.Topology))
+	}
+	ekv := quadSet(ds.EdgeKV)
+	if !ekv[`<http://pg/e3> <http://pg/k/since> "2007"^^<http://www.w3.org/2001/XMLSchema#int> <http://pg/e3>`] {
+		t.Errorf("e-e-K-V quad missing; edgeKV = %v", ds.EdgeKV)
+	}
+	nkv := quadSet(ds.NodeKV)
+	if !nkv[`<http://pg/v1> <http://pg/k/name> "Amy"`] || !nkv[`<http://pg/v1> <http://pg/k/age> "23"^^<http://www.w3.org/2001/XMLSchema#int>`] {
+		t.Errorf("node KVs wrong: %v", ds.NodeKV)
+	}
+	if len(ds.NodeKV) != 4 || len(ds.EdgeKV) != 2 {
+		t.Errorf("counts: nodeKV=%d edgeKV=%d", len(ds.NodeKV), len(ds.EdgeKV))
+	}
+}
+
+// TestSPShapes checks Table 1's SP row.
+func TestSPShapes(t *testing.T) {
+	ds := NewConverter(SP).Convert(figure1(t))
+	all := quadSet(ds.All())
+	for _, want := range []string{
+		`<http://pg/v1> <http://pg/e3> <http://pg/v2>`,
+		`<http://pg/e3> <http://www.w3.org/2000/01/rdf-schema#subPropertyOf> <http://pg/r/follows>`,
+		`<http://pg/v1> <http://pg/r/follows> <http://pg/v2>`,
+		`<http://pg/e3> <http://pg/k/since> "2007"^^<http://www.w3.org/2001/XMLSchema#int>`,
+	} {
+		if !all[want] {
+			t.Errorf("missing SP quad: %s", want)
+		}
+	}
+	// 3 object-prop triples per edge: -s-e-o, -e-sPO-p, -s-p-o.
+	if len(ds.Topology) != 2 || len(ds.EdgeKV) != 2*2+2 {
+		t.Errorf("partition sizes: topo=%d edgeKV=%d", len(ds.Topology), len(ds.EdgeKV))
+	}
+	// No named graphs in SP.
+	for _, q := range ds.All() {
+		if !q.InDefaultGraph() {
+			t.Errorf("SP emitted a named-graph quad: %s", q)
+		}
+	}
+}
+
+// TestRFShapes checks Table 1's RF row.
+func TestRFShapes(t *testing.T) {
+	ds := NewConverter(RF).Convert(figure1(t))
+	all := quadSet(ds.All())
+	for _, want := range []string{
+		`<http://pg/e3> <http://www.w3.org/1999/02/22-rdf-syntax-ns#subject> <http://pg/v1>`,
+		`<http://pg/e3> <http://www.w3.org/1999/02/22-rdf-syntax-ns#predicate> <http://pg/r/follows>`,
+		`<http://pg/e3> <http://www.w3.org/1999/02/22-rdf-syntax-ns#object> <http://pg/v2>`,
+		`<http://pg/v1> <http://pg/r/follows> <http://pg/v2>`,
+	} {
+		if !all[want] {
+			t.Errorf("missing RF quad: %s", want)
+		}
+	}
+	// 4 object-prop triples per edge.
+	objProp := 0
+	for _, q := range ds.All() {
+		if q.O.IsResource() {
+			objProp++
+		}
+	}
+	if objProp != 8 {
+		t.Errorf("obj-prop triples = %d, want 8 (4 per edge)", objProp)
+	}
+}
+
+func TestIsolatedVertexSpecialCase(t *testing.T) {
+	g := pg.NewGraph()
+	mustVertex(t, g, 7, nil)
+	for _, s := range Schemes {
+		ds := NewConverter(s).Convert(g)
+		if len(ds.Topology) != 1 {
+			t.Fatalf("%s: topology = %v", s, ds.Topology)
+		}
+		want := `<http://pg/v7> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://www.w3.org/2000/01/rdf-schema#Resource>`
+		if ds.Topology[0].String() != want {
+			t.Errorf("%s: got %s", s, ds.Topology[0])
+		}
+	}
+}
+
+func TestOptionsSingleTripleWhenNoKVs(t *testing.T) {
+	g := pg.NewGraph()
+	mustVertex(t, g, 1, nil)
+	mustVertex(t, g, 2, nil)
+	mustEdge(t, g, 3, 1, 2, "follows", nil) // no KVs
+	c := NewConverter(SP)
+	c.Opts.SingleTripleWhenNoKVs = true
+	ds := c.Convert(g)
+	if len(ds.EdgeKV) != 0 || len(ds.Topology) != 1 {
+		t.Errorf("optimized edge should be one -s-p-o triple: topo=%v edgeKV=%v", ds.Topology, ds.EdgeKV)
+	}
+}
+
+func TestOptionsNoExplicitSPO(t *testing.T) {
+	c := NewConverter(SP)
+	c.Opts.ExplicitSPO = false
+	ds := c.Convert(figure1(t))
+	for _, q := range ds.All() {
+		if q.P.Value == "http://pg/r/follows" && q.O.IsResource() {
+			t.Errorf("explicit -s-p-o emitted despite option: %s", q)
+		}
+	}
+}
+
+// TestCardinalityFormulas is invariant 3: Table 2's predictions match
+// the measured characteristics of generated datasets, on Figure 1 and on
+// random graphs.
+func TestCardinalityFormulas(t *testing.T) {
+	graphs := map[string]*pg.Graph{"figure1": figure1(t)}
+	for i := 0; i < 10; i++ {
+		graphs[fmt.Sprintf("random%d", i)] = randomGraphNoIsolated(int64(i), 20+i*5, 40+i*10)
+	}
+	for name, g := range graphs {
+		st := g.ComputeStats()
+		for _, s := range Schemes {
+			ds := NewConverter(s).Convert(g)
+			got := MeasureCardinalities(ds)
+			want := PredictCardinalities(st, s)
+			if got != want {
+				t.Errorf("%s/%s: measured %+v != predicted %+v", name, s, got, want)
+			}
+		}
+	}
+}
+
+// randomGraphNoIsolated builds a random graph where every vertex has at
+// least one KV (so the Table 2 formulas hold exactly: every vertex is an
+// RDF subject and no isolated-vertex typing triples are emitted).
+func randomGraphNoIsolated(seed int64, nV, nE int) *pg.Graph {
+	rng := newRand(seed)
+	g := pg.NewGraph()
+	ids := make([]pg.ID, 0, nV)
+	for i := 0; i < nV; i++ {
+		v := g.AddVertex()
+		v.SetProperty(fmt.Sprintf("k%d", rng.Intn(5)), pg.I(int64(rng.Intn(100))))
+		if rng.Intn(2) == 0 {
+			v.SetProperty("name", pg.S(fmt.Sprintf("u%d", rng.Intn(30))))
+		}
+		ids = append(ids, v.ID)
+	}
+	labels := []string{"follows", "knows"}
+	for i := 0; i < nE; i++ {
+		e, err := g.AddEdge(ids[rng.Intn(nV)], ids[rng.Intn(nV)], labels[rng.Intn(2)])
+		if err != nil {
+			panic(err)
+		}
+		for k := 0; k < rng.Intn(3); k++ {
+			e.SetProperty(fmt.Sprintf("k%d", rng.Intn(5)), pg.I(int64(rng.Intn(100))))
+		}
+	}
+	return g
+}
+
+// TestRoundTripAllSchemes is invariant 1: PG -> RDF -> PG is lossless
+// under every scheme.
+func TestRoundTripAllSchemes(t *testing.T) {
+	graphs := []*pg.Graph{figure1(t)}
+	for i := 0; i < 8; i++ {
+		graphs = append(graphs, randomGraphNoIsolated(int64(100+i), 10+i*3, 20+i*6))
+	}
+	// Include graphs with isolated vertices and KV-less edges.
+	g := figure1(t)
+	mustVertex(t, g, 99, nil)
+	mustEdge(t, g, 100, 1, 2, "likes", nil)
+	graphs = append(graphs, g)
+
+	for gi, g := range graphs {
+		for _, s := range Schemes {
+			c := NewConverter(s)
+			ds := c.Convert(g)
+			back, err := FromRDF(ds, c.Vocab)
+			if err != nil {
+				t.Fatalf("graph %d scheme %s: FromRDF: %v", gi, s, err)
+			}
+			assertSameGraph(t, g, back, fmt.Sprintf("graph %d scheme %s", gi, s))
+		}
+	}
+}
+
+func assertSameGraph(t *testing.T, a, b *pg.Graph, ctx string) {
+	t.Helper()
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("%s: size V %d/%d E %d/%d", ctx, a.NumVertices(), b.NumVertices(), a.NumEdges(), b.NumEdges())
+	}
+	ok := true
+	a.Vertices(func(v *pg.Vertex) bool {
+		w := b.Vertex(v.ID)
+		if w == nil {
+			t.Errorf("%s: vertex %d missing", ctx, v.ID)
+			ok = false
+			return false
+		}
+		for _, k := range v.Keys() {
+			av, _ := v.Property(k)
+			bv, has := w.Property(k)
+			if !has || !reflect.DeepEqual(av, bv) {
+				t.Errorf("%s: vertex %d key %s: %v vs %v", ctx, v.ID, k, av, bv)
+				ok = false
+			}
+		}
+		if len(v.Keys()) != len(w.Keys()) {
+			t.Errorf("%s: vertex %d key count", ctx, v.ID)
+			ok = false
+		}
+		return true
+	})
+	a.Edges(func(e *pg.Edge) bool {
+		f := b.Edge(e.ID)
+		if f == nil || e.Label != f.Label || e.Src != f.Src || e.Dst != f.Dst {
+			t.Errorf("%s: edge %d differs", ctx, e.ID)
+			ok = false
+			return false
+		}
+		for _, k := range e.Keys() {
+			av, _ := e.Property(k)
+			bv, has := f.Property(k)
+			if !has || !reflect.DeepEqual(av, bv) {
+				t.Errorf("%s: edge %d key %s: %v vs %v", ctx, e.ID, k, av, bv)
+				ok = false
+			}
+		}
+		if len(e.Keys()) != len(f.Keys()) {
+			t.Errorf("%s: edge %d key count", ctx, e.ID)
+			ok = false
+		}
+		return true
+	})
+	if !ok {
+		t.FailNow()
+	}
+}
+
+func TestCountTriplesTable7(t *testing.T) {
+	ds := NewConverter(NG).Convert(figure1(t))
+	tc := CountTriples(ds, DefaultVocabulary())
+	if tc.ByLabel["follows"] != 1 || tc.ByLabel["knows"] != 1 {
+		t.Errorf("labels = %v", tc.ByLabel)
+	}
+	if tc.ByKey["name"] != 2 || tc.ByKey["age"] != 2 || tc.ByKey["since"] != 1 {
+		t.Errorf("keys = %v", tc.ByKey)
+	}
+	if tc.Total != ds.Len() {
+		t.Errorf("total = %d want %d", tc.Total, ds.Len())
+	}
+}

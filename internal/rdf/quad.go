@@ -1,0 +1,133 @@
+package rdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Triple is an RDF triple <subject, predicate, object>.
+type Triple struct {
+	S, P, O Term
+}
+
+// NewTriple constructs a triple.
+func NewTriple(s, p, o Term) Triple { return Triple{S: s, P: p, O: o} }
+
+// String renders the triple in N-Triples syntax (without the final dot).
+func (t Triple) String() string {
+	return t.S.String() + " " + t.P.String() + " " + t.O.String()
+}
+
+// Quad is an RDF quad <subject, predicate, object, graph>. A zero G
+// denotes the default (unnamed) graph, making every Triple embeddable as
+// a Quad.
+type Quad struct {
+	S, P, O, G Term
+}
+
+// NewQuad constructs a quad in the named graph g; pass a zero Term for
+// the default graph.
+func NewQuad(s, p, o, g Term) Quad { return Quad{S: s, P: p, O: o, G: g} }
+
+// TripleQuad lifts a triple into a quad in the default graph.
+func TripleQuad(t Triple) Quad { return Quad{S: t.S, P: t.P, O: t.O} }
+
+// Triple projects the quad onto its triple components.
+func (q Quad) Triple() Triple { return Triple{S: q.S, P: q.P, O: q.O} }
+
+// InDefaultGraph reports whether the quad lives in the default graph.
+func (q Quad) InDefaultGraph() bool { return q.G.IsZero() }
+
+// String renders the quad in N-Quads syntax (without the final dot).
+func (q Quad) String() string {
+	if q.G.IsZero() {
+		return q.Triple().String()
+	}
+	return q.Triple().String() + " " + q.G.String()
+}
+
+// Validate checks the RDF 1.1 positional restrictions: the subject must
+// be an IRI or blank node, the predicate an IRI, the object any term, and
+// the graph (if present) an IRI or blank node.
+func (q Quad) Validate() error {
+	if !q.S.IsResource() {
+		return fmt.Errorf("rdf: subject must be an IRI or blank node, got %s", q.S)
+	}
+	if !q.P.IsIRI() {
+		return fmt.Errorf("rdf: predicate must be an IRI, got %s", q.P)
+	}
+	if q.O.IsZero() {
+		return fmt.Errorf("rdf: object missing")
+	}
+	if !q.G.IsZero() && !q.G.IsResource() {
+		return fmt.Errorf("rdf: graph must be an IRI or blank node, got %s", q.G)
+	}
+	return nil
+}
+
+// CompareQuads orders quads by G, S, P, O using term order; useful for
+// deterministic serialization and set comparison in tests.
+func CompareQuads(a, b Quad) int {
+	if c := Compare(a.G, b.G); c != 0 {
+		return c
+	}
+	if c := Compare(a.S, b.S); c != 0 {
+		return c
+	}
+	if c := Compare(a.P, b.P); c != 0 {
+		return c
+	}
+	return Compare(a.O, b.O)
+}
+
+// PrefixMap maps prefix labels (without the colon) to namespace IRIs and
+// supports compact rendering of IRIs in diagnostics.
+type PrefixMap map[string]string
+
+// StandardPrefixes returns the prefixes used throughout the paper.
+func StandardPrefixes() PrefixMap {
+	return PrefixMap{
+		"rdf":  RDFNS,
+		"rdfs": RDFSNS,
+		"xsd":  XSDNS,
+		"owl":  OWLNS,
+		"pg":   PGNS,
+		"rel":  RelNS,
+		"r":    RelNS,
+		"key":  KeyNS,
+		"k":    KeyNS,
+	}
+}
+
+// Shorten renders an IRI using the longest matching prefix, or in angle
+// brackets if none matches.
+func (p PrefixMap) Shorten(iri string) string {
+	best, bestNS := "", ""
+	for label, ns := range p {
+		if strings.HasPrefix(iri, ns) && len(ns) > len(bestNS) {
+			best, bestNS = label, ns
+		}
+	}
+	if bestNS == "" {
+		return "<" + iri + ">"
+	}
+	local := iri[len(bestNS):]
+	if strings.ContainsAny(local, "/#:") {
+		return "<" + iri + ">"
+	}
+	return best + ":" + local
+}
+
+// Expand resolves a prefixed name "label:local" against the map; ok is
+// false when the prefix is unknown.
+func (p PrefixMap) Expand(pname string) (iri string, ok bool) {
+	i := strings.IndexByte(pname, ':')
+	if i < 0 {
+		return "", false
+	}
+	ns, ok := p[pname[:i]]
+	if !ok {
+		return "", false
+	}
+	return ns + pname[i+1:], true
+}

@@ -1,0 +1,238 @@
+package rdf
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ValueKind classifies the XSD value space of a literal for SPARQL
+// operator dispatch.
+type ValueKind uint8
+
+// Value kinds, ordered so numeric promotion can compare them.
+const (
+	ValueUnknown ValueKind = iota
+	ValueString
+	ValueBoolean
+	ValueInteger
+	ValueDecimal
+	ValueDouble
+	ValueDateTime
+)
+
+// Value is the typed value of a literal in the XSD value space.
+type Value struct {
+	Kind ValueKind
+	Str  string
+	Int  int64
+	Flt  float64
+	Bool bool
+}
+
+// IsNumeric reports whether the value participates in numeric promotion.
+func (v Value) IsNumeric() bool {
+	return v.Kind == ValueInteger || v.Kind == ValueDecimal || v.Kind == ValueDouble
+}
+
+// Float returns the value as a float64 under numeric promotion.
+func (v Value) Float() float64 {
+	if v.Kind == ValueInteger {
+		return float64(v.Int)
+	}
+	return v.Flt
+}
+
+// LiteralValue maps a literal term to its typed value. The second result
+// is false for non-literals and for lexical forms outside the datatype's
+// lexical space (SPARQL would raise a type error).
+func LiteralValue(t Term) (Value, bool) {
+	if t.Kind != KindLiteral {
+		return Value{}, false
+	}
+	switch dt := t.DatatypeIRI(); dt {
+	case XSDString, RDFLangString:
+		return Value{Kind: ValueString, Str: t.Value}, true
+	case XSDBoolean:
+		switch t.Value {
+		case "true", "1":
+			return Value{Kind: ValueBoolean, Bool: true}, true
+		case "false", "0":
+			return Value{Kind: ValueBoolean, Bool: false}, true
+		}
+		return Value{}, false
+	case XSDInteger, XSDInt, XSDLong, XSDNS + "short", XSDNS + "byte",
+		XSDNS + "nonNegativeInteger", XSDNS + "positiveInteger",
+		XSDNS + "negativeInteger", XSDNS + "nonPositiveInteger",
+		XSDNS + "unsignedInt", XSDNS + "unsignedLong":
+		i, err := strconv.ParseInt(strings.TrimPrefix(t.Value, "+"), 10, 64)
+		if err != nil {
+			return Value{}, false
+		}
+		return Value{Kind: ValueInteger, Int: i}, true
+	case XSDDecimal:
+		f, err := strconv.ParseFloat(t.Value, 64)
+		if err != nil {
+			return Value{}, false
+		}
+		return Value{Kind: ValueDecimal, Flt: f}, true
+	case XSDDouble, XSDFloat:
+		f, err := strconv.ParseFloat(t.Value, 64)
+		if err != nil {
+			return Value{}, false
+		}
+		return Value{Kind: ValueDouble, Flt: f}, true
+	case XSDDateTime, XSDDate:
+		// Lexical forms of xsd:dateTime/date order correctly as strings
+		// when the timezone designators match, which suffices here.
+		return Value{Kind: ValueDateTime, Str: t.Value}, true
+	default:
+		return Value{Kind: ValueUnknown, Str: t.Value}, true
+	}
+}
+
+// CompareValues compares two literal values per SPARQL operator mapping.
+// It returns the comparison result and whether the pair is comparable.
+func CompareValues(a, b Value) (int, bool) {
+	if a.IsNumeric() && b.IsNumeric() {
+		if a.Kind == ValueInteger && b.Kind == ValueInteger {
+			return cmpInt64(a.Int, b.Int), true
+		}
+		af, bf := a.Float(), b.Float()
+		switch {
+		case af < bf:
+			return -1, true
+		case af > bf:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	if a.Kind != b.Kind {
+		return 0, false
+	}
+	switch a.Kind {
+	case ValueString, ValueDateTime:
+		return strings.Compare(a.Str, b.Str), true
+	case ValueBoolean:
+		return cmpBool(a.Bool, b.Bool), true
+	default:
+		return 0, false
+	}
+}
+
+func cmpInt64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpBool(a, b bool) int {
+	switch {
+	case a == b:
+		return 0
+	case !a:
+		return -1
+	default:
+		return 1
+	}
+}
+
+// EffectiveBoolean computes the SPARQL effective boolean value (EBV) of a
+// literal term; ok is false when the EBV is a type error.
+func EffectiveBoolean(t Term) (val, ok bool) {
+	v, ok := LiteralValue(t)
+	if !ok {
+		return false, false
+	}
+	switch v.Kind {
+	case ValueBoolean:
+		return v.Bool, true
+	case ValueString:
+		return v.Str != "", true
+	case ValueInteger:
+		return v.Int != 0, true
+	case ValueDecimal, ValueDouble:
+		return v.Flt != 0 && !math.IsNaN(v.Flt), true
+	default:
+		return false, false
+	}
+}
+
+// formatFloat renders a float in the xsd:double canonical-ish form Go
+// would round-trip.
+func formatFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	if !strings.ContainsAny(s, ".eE") && !strings.Contains(s, "NaN") && !strings.Contains(s, "Inf") {
+		s += ".0"
+	}
+	return s
+}
+
+// NumericLiteral builds a literal from a promoted numeric value.
+func NumericLiteral(v Value) Term {
+	switch v.Kind {
+	case ValueInteger:
+		return NewInteger(v.Int)
+	case ValueDecimal:
+		return NewTypedLiteral(formatFloat(v.Flt), XSDDecimal)
+	default:
+		return NewDouble(v.Flt)
+	}
+}
+
+// PromoteNumeric returns the result kind of an arithmetic operation over
+// the two numeric kinds.
+func PromoteNumeric(a, b ValueKind) ValueKind {
+	if a == ValueDouble || b == ValueDouble {
+		return ValueDouble
+	}
+	if a == ValueDecimal || b == ValueDecimal {
+		return ValueDecimal
+	}
+	return ValueInteger
+}
+
+// GuessTypedLiteral maps a raw string plus a declared relational type
+// (the Type column of the ObjKVs table, e.g. VARCHAR or NUMBER) to an RDF
+// literal, mirroring §2.2's value mapping.
+func GuessTypedLiteral(relType, raw string) (Term, error) {
+	switch strings.ToUpper(relType) {
+	case "", "VARCHAR", "VARCHAR2", "STRING", "CHAR":
+		return NewLiteral(raw), nil
+	case "NUMBER", "INT", "INTEGER":
+		if i, err := strconv.ParseInt(raw, 10, 64); err == nil {
+			if i >= math.MinInt32 && i <= math.MaxInt32 {
+				return NewInt(int32(i)), nil
+			}
+			return NewInteger(i), nil
+		}
+		if _, err := strconv.ParseFloat(raw, 64); err == nil {
+			return NewTypedLiteral(raw, XSDDecimal), nil
+		}
+		return Term{}, fmt.Errorf("rdf: %q is not in the lexical space of NUMBER", raw)
+	case "DOUBLE", "FLOAT":
+		if _, err := strconv.ParseFloat(raw, 64); err != nil {
+			return Term{}, fmt.Errorf("rdf: %q is not a floating point value", raw)
+		}
+		return NewTypedLiteral(raw, XSDDouble), nil
+	case "BOOLEAN", "BOOL":
+		switch strings.ToLower(raw) {
+		case "true", "1":
+			return NewBoolean(true), nil
+		case "false", "0":
+			return NewBoolean(false), nil
+		}
+		return Term{}, fmt.Errorf("rdf: %q is not a boolean", raw)
+	case "DATE", "DATETIME", "TIMESTAMP":
+		return NewTypedLiteral(raw, XSDDateTime), nil
+	default:
+		return Term{}, fmt.Errorf("rdf: unsupported relational type %q", relType)
+	}
+}

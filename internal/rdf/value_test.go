@@ -1,0 +1,177 @@
+package rdf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLiteralValue(t *testing.T) {
+	cases := []struct {
+		term Term
+		want Value
+		ok   bool
+	}{
+		{NewLiteral("Amy"), Value{Kind: ValueString, Str: "Amy"}, true},
+		{NewInt(23), Value{Kind: ValueInteger, Int: 23}, true},
+		{NewInteger(-7), Value{Kind: ValueInteger, Int: -7}, true},
+		{NewTypedLiteral("+5", XSDInteger), Value{Kind: ValueInteger, Int: 5}, true},
+		{NewBoolean(true), Value{Kind: ValueBoolean, Bool: true}, true},
+		{NewTypedLiteral("1", XSDBoolean), Value{Kind: ValueBoolean, Bool: true}, true},
+		{NewDouble(2.5), Value{Kind: ValueDouble, Flt: 2.5}, true},
+		{NewTypedLiteral("3.14", XSDDecimal), Value{Kind: ValueDecimal, Flt: 3.14}, true},
+		{NewTypedLiteral("notanum", XSDInteger), Value{}, false},
+		{NewTypedLiteral("maybe", XSDBoolean), Value{}, false},
+		{NewIRI("http://x"), Value{}, false},
+		{NewLangLiteral("train", "en-us"), Value{Kind: ValueString, Str: "train"}, true},
+		{NewTypedLiteral("2007-01-02T00:00:00Z", XSDDateTime), Value{Kind: ValueDateTime, Str: "2007-01-02T00:00:00Z"}, true},
+	}
+	for _, c := range cases {
+		got, ok := LiteralValue(c.term)
+		if ok != c.ok {
+			t.Errorf("LiteralValue(%s) ok=%v want %v", c.term, ok, c.ok)
+			continue
+		}
+		if ok && got != c.want {
+			t.Errorf("LiteralValue(%s) = %+v, want %+v", c.term, got, c.want)
+		}
+	}
+}
+
+func TestCompareValues(t *testing.T) {
+	i23, _ := LiteralValue(NewInt(23))
+	i22, _ := LiteralValue(NewInteger(22))
+	d225, _ := LiteralValue(NewDouble(22.5))
+	sAmy, _ := LiteralValue(NewLiteral("Amy"))
+	sMira, _ := LiteralValue(NewLiteral("Mira"))
+	bt, _ := LiteralValue(NewBoolean(true))
+	bf, _ := LiteralValue(NewBoolean(false))
+
+	if c, ok := CompareValues(i22, i23); !ok || c >= 0 {
+		t.Errorf("22 < 23 failed: %d %v", c, ok)
+	}
+	if c, ok := CompareValues(d225, i23); !ok || c >= 0 {
+		t.Errorf("22.5 < 23 (mixed) failed: %d %v", c, ok)
+	}
+	if c, ok := CompareValues(i22, d225); !ok || c >= 0 {
+		t.Errorf("22 < 22.5 (mixed) failed: %d %v", c, ok)
+	}
+	if c, ok := CompareValues(sAmy, sMira); !ok || c >= 0 {
+		t.Errorf("Amy < Mira failed: %d %v", c, ok)
+	}
+	if c, ok := CompareValues(bf, bt); !ok || c >= 0 {
+		t.Errorf("false < true failed: %d %v", c, ok)
+	}
+	if _, ok := CompareValues(sAmy, i23); ok {
+		t.Error("string vs integer should be incomparable")
+	}
+}
+
+func TestEffectiveBoolean(t *testing.T) {
+	cases := []struct {
+		term    Term
+		val, ok bool
+	}{
+		{NewBoolean(true), true, true},
+		{NewBoolean(false), false, true},
+		{NewLiteral(""), false, true},
+		{NewLiteral("x"), true, true},
+		{NewInteger(0), false, true},
+		{NewInteger(5), true, true},
+		{NewDouble(0), false, true},
+		{NewDouble(1.5), true, true},
+		{NewIRI("http://x"), false, false},
+		{NewTypedLiteral("z", XSDInteger), false, false},
+	}
+	for _, c := range cases {
+		val, ok := EffectiveBoolean(c.term)
+		if val != c.val || ok != c.ok {
+			t.Errorf("EffectiveBoolean(%s) = %v,%v want %v,%v", c.term, val, ok, c.val, c.ok)
+		}
+	}
+}
+
+func TestIntegerRoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		val, ok := LiteralValue(NewInteger(v))
+		return ok && val.Kind == ValueInteger && val.Int == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareValuesNumericConsistency(t *testing.T) {
+	f := func(a, b int32) bool {
+		va, _ := LiteralValue(NewInteger(int64(a)))
+		vb, _ := LiteralValue(NewDouble(float64(b)))
+		c, ok := CompareValues(va, vb)
+		if !ok {
+			return false
+		}
+		switch {
+		case int64(a) < int64(b):
+			return c < 0
+		case int64(a) > int64(b):
+			return c > 0
+		default:
+			return c == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGuessTypedLiteral(t *testing.T) {
+	cases := []struct {
+		relType, raw string
+		want         Term
+		wantErr      bool
+	}{
+		{"VARCHAR", "Amy", NewLiteral("Amy"), false},
+		{"NUMBER", "23", NewInt(23), false},
+		{"NUMBER", "2007", NewInt(2007), false},
+		{"NUMBER", "9999999999", NewInteger(9999999999), false},
+		{"NUMBER", "3.5", NewTypedLiteral("3.5", XSDDecimal), false},
+		{"NUMBER", "abc", Term{}, true},
+		{"BOOLEAN", "true", NewBoolean(true), false},
+		{"BOOLEAN", "x", Term{}, true},
+		{"DOUBLE", "2.5", NewTypedLiteral("2.5", XSDDouble), false},
+		{"DOUBLE", "x", Term{}, true},
+		{"DATE", "2007-01-01", NewTypedLiteral("2007-01-01", XSDDateTime), false},
+		{"BLOB", "x", Term{}, true},
+		{"", "plain", NewLiteral("plain"), false},
+	}
+	for _, c := range cases {
+		got, err := GuessTypedLiteral(c.relType, c.raw)
+		if (err != nil) != c.wantErr {
+			t.Errorf("GuessTypedLiteral(%q,%q) err=%v wantErr=%v", c.relType, c.raw, err, c.wantErr)
+			continue
+		}
+		if err == nil && !got.Equal(c.want) {
+			t.Errorf("GuessTypedLiteral(%q,%q) = %s, want %s", c.relType, c.raw, got, c.want)
+		}
+	}
+}
+
+func TestPromoteNumeric(t *testing.T) {
+	if PromoteNumeric(ValueInteger, ValueInteger) != ValueInteger {
+		t.Error("int+int should stay integer")
+	}
+	if PromoteNumeric(ValueInteger, ValueDouble) != ValueDouble {
+		t.Error("int+double should promote to double")
+	}
+	if PromoteNumeric(ValueDecimal, ValueInteger) != ValueDecimal {
+		t.Error("decimal+int should promote to decimal")
+	}
+}
+
+func TestNumericLiteral(t *testing.T) {
+	if got := NumericLiteral(Value{Kind: ValueInteger, Int: 42}); !got.Equal(NewInteger(42)) {
+		t.Errorf("NumericLiteral int = %s", got)
+	}
+	got := NumericLiteral(Value{Kind: ValueDouble, Flt: 2.5})
+	if v, ok := LiteralValue(got); !ok || v.Flt != 2.5 || v.Kind != ValueDouble {
+		t.Errorf("NumericLiteral double = %s", got)
+	}
+}

@@ -1,0 +1,62 @@
+package rdf
+
+// Standard W3C namespaces.
+const (
+	RDFNS  = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+	RDFSNS = "http://www.w3.org/2000/01/rdf-schema#"
+	XSDNS  = "http://www.w3.org/2001/XMLSchema#"
+	OWLNS  = "http://www.w3.org/2002/07/owl#"
+)
+
+// rdf: vocabulary used by the reification scheme and typing.
+const (
+	RDFType       = RDFNS + "type"
+	RDFSubject    = RDFNS + "subject"
+	RDFPredicate  = RDFNS + "predicate"
+	RDFObject     = RDFNS + "object"
+	RDFStatement  = RDFNS + "Statement"
+	RDFLangString = RDFNS + "langString"
+)
+
+// rdfs: vocabulary used by the subproperty scheme and RDFS inference.
+const (
+	RDFSSubPropertyOf = RDFSNS + "subPropertyOf"
+	RDFSSubClassOf    = RDFSNS + "subClassOf"
+	RDFSDomain        = RDFSNS + "domain"
+	RDFSRange         = RDFSNS + "range"
+	RDFSLabel         = RDFSNS + "label"
+	RDFSResource      = RDFSNS + "Resource"
+)
+
+// owl: vocabulary used by the linked-data integration examples (§5.2).
+const (
+	OWLSameAs             = OWLNS + "sameAs"
+	OWLEquivalentProperty = OWLNS + "equivalentProperty"
+	OWLEquivalentClass    = OWLNS + "equivalentClass"
+	OWLInverseOf          = OWLNS + "inverseOf"
+	OWLTransitiveProperty = OWLNS + "TransitiveProperty"
+	OWLSymmetricProperty  = OWLNS + "SymmetricProperty"
+)
+
+// xsd: datatypes used when mapping property-graph values to RDF literals.
+const (
+	XSDString   = XSDNS + "string"
+	XSDBoolean  = XSDNS + "boolean"
+	XSDInteger  = XSDNS + "integer"
+	XSDInt      = XSDNS + "int"
+	XSDLong     = XSDNS + "long"
+	XSDDecimal  = XSDNS + "decimal"
+	XSDDouble   = XSDNS + "double"
+	XSDFloat    = XSDNS + "float"
+	XSDDateTime = XSDNS + "dateTime"
+	XSDDate     = XSDNS + "date"
+)
+
+// Namespaces used by the paper's PG-as-RDF vocabulary (§2.2): vertices and
+// edges live under pg:, edge labels (relationship types) under rel:
+// (<http://pg/r/>), and keys under key: (<http://pg/k/>).
+const (
+	PGNS  = "http://pg/"
+	RelNS = "http://pg/r/"
+	KeyNS = "http://pg/k/"
+)

@@ -1,0 +1,138 @@
+package sparql
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func TestAskQuery(t *testing.T) {
+	st := fig1Store(t)
+	e := NewEngine(st)
+	yes, err := e.Ask("", testPrologue+`ASK { ?x rel:follows ?y }`)
+	if err != nil || !yes {
+		t.Fatalf("ask follows = %v, %v", yes, err)
+	}
+	no, err := e.Ask("", testPrologue+`ASK WHERE { ?x rel:blocks ?y }`)
+	if err != nil || no {
+		t.Fatalf("ask blocks = %v, %v", no, err)
+	}
+	// All-constant pattern (no variables at all).
+	yes, err = e.Ask("", testPrologue+`ASK { <http://pg/v1> rel:follows <http://pg/v2> }`)
+	if err != nil || !yes {
+		t.Fatalf("constant ask = %v, %v", yes, err)
+	}
+	// Ask with a filter.
+	yes, err = e.Ask("", testPrologue+`ASK { ?x key:age ?a FILTER (?a > 100) }`)
+	if err != nil || yes {
+		t.Fatalf("filtered ask = %v, %v", yes, err)
+	}
+	// Wrong form through Ask.
+	if _, err := e.Ask("", `SELECT ?x WHERE { ?x ?p ?y }`); err == nil {
+		t.Error("Ask accepted a SELECT query")
+	}
+	if _, err := e.Query("", testPrologue+`ASK { ?x ?p ?y }`); err == nil {
+		t.Error("Query accepted an ASK query")
+	}
+}
+
+func TestConstructQuery(t *testing.T) {
+	st := fig1Store(t)
+	e := NewEngine(st)
+	quads, err := e.Construct("", testPrologue+`
+		CONSTRUCT { ?y <http://x/followedBy> ?x . ?x <http://x/active> true }
+		WHERE { ?x rel:follows ?y }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quads) != 2 {
+		t.Fatalf("constructed %d quads: %v", len(quads), quads)
+	}
+	sort.Slice(quads, func(i, j int) bool { return rdf.CompareQuads(quads[i], quads[j]) < 0 })
+	if quads[0].P.Value != "http://x/active" || quads[1].P.Value != "http://x/followedBy" {
+		t.Errorf("quads = %v", quads)
+	}
+	if !quads[1].S.Equal(rdf.NewIRI("http://pg/v2")) {
+		t.Errorf("inverted edge wrong: %v", quads[1])
+	}
+}
+
+func TestConstructWithGraphTemplate(t *testing.T) {
+	st := fig1Store(t)
+	e := NewEngine(st)
+	quads, err := e.Construct("", testPrologue+`
+		CONSTRUCT { GRAPH ?g { ?x <http://x/inEdgeGraph> ?y } }
+		WHERE { GRAPH ?g { ?x rel:follows ?y } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quads) != 1 || !quads[0].G.Equal(rdf.NewIRI("http://pg/e3")) {
+		t.Fatalf("graph template quads = %v", quads)
+	}
+}
+
+func TestConstructSkipsInvalidAndUnbound(t *testing.T) {
+	st := fig1Store(t)
+	e := NewEngine(st)
+	// ?v is a literal: binding it into subject position is invalid and
+	// must be skipped; ?unbound is never bound.
+	quads, err := e.Construct("", testPrologue+`
+		CONSTRUCT { ?v <http://x/p> ?x . ?x <http://x/q> ?unbound . ?x <http://x/ok> ?v }
+		WHERE { ?x key:name ?v }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range quads {
+		if q.P.Value != "http://x/ok" {
+			t.Errorf("unexpected quad survived: %v", q)
+		}
+	}
+	if len(quads) != 2 {
+		t.Errorf("quads = %v", quads)
+	}
+}
+
+func TestConstructDeduplicates(t *testing.T) {
+	st := fig1Store(t)
+	e := NewEngine(st)
+	// Two solutions (follows + knows) produce the same template quad.
+	quads, err := e.Construct("", testPrologue+`
+		CONSTRUCT { ?x <http://x/connected> ?y } WHERE { ?x ?p ?y FILTER (isIRI(?y)) }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quads) != 1 {
+		t.Fatalf("expected 1 deduplicated quad, got %v", quads)
+	}
+}
+
+// TestConstructRoundTripsNGtoSP converts an NG dataset to SP triples
+// with CONSTRUCT — the kind of scheme migration the models enable.
+func TestConstructRoundTripsNGtoSP(t *testing.T) {
+	st := fig1Store(t)
+	e := NewEngine(st)
+	quads, err := e.Construct("", testPrologue+`
+		CONSTRUCT {
+			?x ?g ?y .
+			?g rdfs:subPropertyOf rel:follows .
+			?x rel:follows ?y
+		}
+		WHERE { GRAPH ?g { ?x rel:follows ?y } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quads) != 3 {
+		t.Fatalf("migration quads = %v", quads)
+	}
+	// The migrated triples must contain the SP anchor form.
+	found := false
+	for _, q := range quads {
+		if q.P.Value == "http://pg/e3" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing -s-e-o anchor in %v", quads)
+	}
+}

@@ -1,0 +1,619 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// Engine executes SPARQL queries and updates against a store.
+type Engine struct {
+	st *store.Store
+	// DisableHashJoin forces index nested-loop joins for every pattern,
+	// disabling the adaptive switch to hash joins over full scans. It
+	// exists for the join-strategy ablation benchmarks; leave it false
+	// for normal use.
+	DisableHashJoin bool
+
+	// planCache caches compiled SELECT plans by query text. Compiled
+	// plans are immutable after compilation (all per-run state lives in
+	// the executor), so they are safe to share across goroutines.
+	planMu    sync.RWMutex
+	planCache map[string]*compiled
+}
+
+// planCacheLimit bounds the compiled-plan cache; beyond it the cache is
+// reset (simple and adequate for workloads with a bounded query set).
+const planCacheLimit = 256
+
+// NewEngine returns an engine over the given store.
+func NewEngine(st *store.Store) *Engine {
+	return &Engine{st: st, planCache: make(map[string]*compiled)}
+}
+
+// compileCached returns the compiled plan for a SELECT query text,
+// parsing and compiling only on a cache miss.
+func (e *Engine) compileCached(query string) (*compiled, error) {
+	e.planMu.RLock()
+	cp, ok := e.planCache[query]
+	e.planMu.RUnlock()
+	if ok {
+		return cp, nil
+	}
+	q, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	if q.Form != FormSelect {
+		return nil, fmt.Errorf("sparql: Query expects a SELECT query; use Ask, Construct or Describe")
+	}
+	cp, err = compileSelect(q.Select, freshCounter())
+	if err != nil {
+		return nil, err
+	}
+	e.planMu.Lock()
+	if len(e.planCache) >= planCacheLimit {
+		e.planCache = make(map[string]*compiled)
+	}
+	e.planCache[query] = cp
+	e.planMu.Unlock()
+	return cp, nil
+}
+
+// Store returns the underlying store.
+func (e *Engine) Store() *store.Store { return e.st }
+
+// Results is a materialized solution sequence. A zero Term in a row
+// means the variable is unbound in that solution.
+type Results struct {
+	Vars []string
+	Rows [][]rdf.Term
+}
+
+// Len returns the number of solutions.
+func (r *Results) Len() int { return len(r.Rows) }
+
+// Col returns the index of a variable in the result rows, or -1.
+func (r *Results) Col(name string) int {
+	for i, v := range r.Vars {
+		if v == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders the results as a compact table for diagnostics.
+func (r *Results) String() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(r.Vars, "\t"))
+	sb.WriteByte('\n')
+	for _, row := range r.Rows {
+		for i, t := range row {
+			if i > 0 {
+				sb.WriteByte('\t')
+			}
+			if t.IsZero() {
+				sb.WriteString("UNBOUND")
+			} else {
+				sb.WriteString(t.String())
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Query parses and executes a SELECT query against the dataset named by
+// model (a semantic model, a virtual model, or "" for the union of all
+// models).
+func (e *Engine) Query(model, query string) (*Results, error) {
+	cp, err := e.compileCached(query)
+	if err != nil {
+		return nil, err
+	}
+	ec, err := e.execCtx(model, cp.vt)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := evalSelect(ec, cp)
+	if err != nil {
+		return nil, err
+	}
+	res := &Results{Rows: rows}
+	for _, pr := range cp.projection {
+		res.Vars = append(res.Vars, pr.name)
+	}
+	return res, nil
+}
+
+// Ask parses and executes an ASK query: does the pattern have at least
+// one solution in the dataset?
+func (e *Engine) Ask(model, query string) (bool, error) {
+	q, err := Parse(query)
+	if err != nil {
+		return false, err
+	}
+	if q.Form != FormAsk {
+		return false, fmt.Errorf("sparql: Ask expects an ASK query")
+	}
+	c := &compiler{vt: newVarTable(), seq: freshCounter()}
+	pipeline, err := c.group(q.Select.Where)
+	if err != nil {
+		return false, err
+	}
+	if len(c.vt.names) > maxVars {
+		return false, fmt.Errorf("sparql: query uses more than %d variables", maxVars)
+	}
+	ec, err := e.execCtx(model, c.vt)
+	if err != nil {
+		return false, err
+	}
+	found := false
+	src := runPipeline(ec, pipeline, unitSource(len(c.vt.names)))
+	if err := src(func(binding) bool {
+		found = true
+		return false
+	}); err != nil {
+		return false, err
+	}
+	return found, nil
+}
+
+// Construct parses and executes a CONSTRUCT query, returning the
+// distinct quads built by instantiating the template for each solution
+// (template entries with an unbound variable are skipped for that
+// solution, per the SPARQL semantics).
+func (e *Engine) Construct(model, query string) ([]rdf.Quad, error) {
+	q, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	if q.Form != FormConstruct {
+		return nil, fmt.Errorf("sparql: Construct expects a CONSTRUCT query")
+	}
+	c := &compiler{vt: newVarTable(), seq: freshCounter()}
+	pipeline, err := c.group(q.Select.Where)
+	if err != nil {
+		return nil, err
+	}
+	tmpl := compileTemplates(c, q.Template)
+	if len(c.vt.names) > maxVars {
+		return nil, fmt.Errorf("sparql: query uses more than %d variables", maxVars)
+	}
+	ec, err := e.execCtx(model, c.vt)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[rdf.Quad]struct{})
+	var out []rdf.Quad
+	src := runPipeline(ec, pipeline, unitSource(len(c.vt.names)))
+	if err := src(func(b binding) bool {
+		instantiateTemplates(ec, tmpl, b, seen, &out)
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// compiledTemplate is a CONSTRUCT/Modify template entry with variables
+// resolved to the WHERE scope's slots.
+type compiledTemplate struct {
+	s, p, o, g posRef
+	hasG       bool
+}
+
+func compileTemplates(c *compiler, tmpl []TemplateQuad) []compiledTemplate {
+	refOf := func(tv TermOrVar) posRef {
+		if tv.IsVar {
+			return posRef{isVar: true, slot: c.vt.slot(tv.Var)}
+		}
+		return posRef{term: tv.Term}
+	}
+	out := make([]compiledTemplate, 0, len(tmpl))
+	for _, tq := range tmpl {
+		tr := compiledTemplate{s: refOf(tq.S), p: refOf(tq.P), o: refOf(tq.O)}
+		if tq.G.IsVar || !tq.G.Term.IsZero() {
+			tr.g = refOf(tq.G)
+			tr.hasG = true
+		}
+		out = append(out, tr)
+	}
+	return out
+}
+
+// instantiateTemplates appends the valid, novel quads produced by the
+// templates under one solution. Entries with an unbound variable or an
+// invalid instantiation (e.g. literal subject) are skipped, per SPARQL.
+func instantiateTemplates(ec *execCtx, tmpl []compiledTemplate, b binding, seen map[rdf.Quad]struct{}, out *[]rdf.Quad) {
+	resolve := func(r posRef) (rdf.Term, bool) {
+		if !r.isVar {
+			return r.term, true
+		}
+		if b[r.slot] == store.NoID {
+			return rdf.Term{}, false
+		}
+		return ec.term(b[r.slot]), true
+	}
+	for _, tr := range tmpl {
+		s, ok1 := resolve(tr.s)
+		p, ok2 := resolve(tr.p)
+		o, ok3 := resolve(tr.o)
+		if !ok1 || !ok2 || !ok3 {
+			continue
+		}
+		quad := rdf.Quad{S: s, P: p, O: o}
+		if tr.hasG {
+			g, ok := resolve(tr.g)
+			if !ok {
+				continue
+			}
+			quad.G = g
+		}
+		if quad.Validate() != nil {
+			continue
+		}
+		if _, dup := seen[quad]; dup {
+			continue
+		}
+		seen[quad] = struct{}{}
+		*out = append(*out, quad)
+	}
+}
+
+// Describe parses and executes a DESCRIBE query, returning every quad
+// in which each described resource occurs as subject or object (the
+// common "symmetric concise bounded description" choice — the SPARQL
+// spec leaves DESCRIBE semantics to the implementation).
+func (e *Engine) Describe(model, query string) ([]rdf.Quad, error) {
+	q, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	if q.Form != FormDescribe {
+		return nil, fmt.Errorf("sparql: Describe expects a DESCRIBE query")
+	}
+	c := &compiler{vt: newVarTable(), seq: freshCounter()}
+	pipeline, err := c.group(q.Select.Where)
+	if err != nil {
+		return nil, err
+	}
+	if len(c.vt.names) > maxVars {
+		return nil, fmt.Errorf("sparql: query uses more than %d variables", maxVars)
+	}
+	ec, err := e.execCtx(model, c.vt)
+	if err != nil {
+		return nil, err
+	}
+
+	// Gather the set of resources to describe.
+	resources := make(map[store.ID]struct{})
+	var varSlots []int
+	for _, tv := range q.Describe {
+		if tv.IsVar {
+			if slot, ok := c.vt.lookup(tv.Var); ok {
+				varSlots = append(varSlots, slot)
+			}
+			continue
+		}
+		if id := e.st.Dict().Lookup(tv.Term); id != store.NoID {
+			resources[id] = struct{}{}
+		}
+	}
+	if len(varSlots) > 0 {
+		src := runPipeline(ec, pipeline, unitSource(len(c.vt.names)))
+		if err := src(func(b binding) bool {
+			for _, slot := range varSlots {
+				if b[slot] != store.NoID {
+					resources[b[slot]] = struct{}{}
+				}
+			}
+			return true
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	seen := make(map[rdf.Quad]struct{})
+	var out []rdf.Quad
+	emit := func(q store.IDQuad) bool {
+		quad := rdf.Quad{S: ec.term(q.S), P: ec.term(q.P), O: ec.term(q.C)}
+		if q.G != store.NoID {
+			quad.G = ec.term(q.G)
+		}
+		if _, dup := seen[quad]; !dup {
+			seen[quad] = struct{}{}
+			out = append(out, quad)
+		}
+		return true
+	}
+	for id := range resources {
+		p := store.AnyPattern()
+		p.S = id
+		ec.scan(p, emit)
+		p = store.AnyPattern()
+		p.C = id
+		ec.scan(p, emit)
+	}
+	sort.Slice(out, func(i, j int) bool { return rdf.CompareQuads(out[i], out[j]) < 0 })
+	return out, nil
+}
+
+// Count executes the query and returns only the number of solutions.
+func (e *Engine) Count(model, query string) (int, error) {
+	res, err := e.Query(model, query)
+	if err != nil {
+		return 0, err
+	}
+	return res.Len(), nil
+}
+
+// Explain compiles the query and renders the access plan: join order,
+// per-pattern semantic-network index and access method — the information
+// Table 5 of the paper reports.
+func (e *Engine) Explain(model, query string) (string, error) {
+	q, err := Parse(query)
+	if err != nil {
+		return "", err
+	}
+	cp, err := compileSelect(q.Select, freshCounter())
+	if err != nil {
+		return "", err
+	}
+	ec, err := e.execCtx(model, cp.vt)
+	if err != nil {
+		return "", err
+	}
+	ex := &explainer{ec: ec}
+	ex.printf("Select (dataset=%s)", datasetName(model))
+	ex.indent++
+	for _, op := range cp.pipeline {
+		op.explain(ex)
+	}
+	if cp.grouping {
+		ex.printf("GroupAggregate (%d keys, %d aggregates)", len(cp.groupBy), len(cp.aggregates))
+	}
+	if len(cp.orderBy) > 0 {
+		ex.printf("OrderBy (%d keys)", len(cp.orderBy))
+	}
+	if cp.distinct {
+		ex.printf("Distinct")
+	}
+	ex.indent--
+	return ex.b.String(), nil
+}
+
+func datasetName(model string) string {
+	if model == "" {
+		return "<all models>"
+	}
+	return model
+}
+
+func (e *Engine) execCtx(model string, vt *varTable) (*execCtx, error) {
+	ids, err := e.st.ResolveDataset(model)
+	if err != nil {
+		return nil, err
+	}
+	ec := &execCtx{st: e.st, vt: vt, noHashJoin: e.DisableHashJoin}
+	// nil model set (scan everything) when the dataset is all models.
+	if model != "" && len(ids) != len(e.st.Models()) {
+		ec.models = make(map[store.ModelID]struct{}, len(ids))
+		for _, id := range ids {
+			ec.models[id] = struct{}{}
+		}
+		if len(ids) == 1 {
+			ec.singleModel = ids[0]
+		}
+	}
+	return ec, nil
+}
+
+// UpdateResult reports the effect of an update request.
+type UpdateResult struct {
+	Inserted int
+	Deleted  int
+}
+
+// Update parses and executes a SPARQL Update request. Inserts go into
+// the named model (which must be a concrete semantic model); deletes
+// remove matching quads from every model in the dataset.
+func (e *Engine) Update(model, request string) (UpdateResult, error) {
+	u, err := ParseUpdate(request)
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	var res UpdateResult
+	for _, op := range u.Ops {
+		switch x := op.(type) {
+		case InsertData:
+			for _, q := range x.Quads {
+				ok, err := e.st.Insert(model, q)
+				if err != nil {
+					return res, err
+				}
+				if ok {
+					res.Inserted++
+				}
+			}
+		case DeleteData:
+			for _, q := range x.Quads {
+				ok, err := e.st.Delete(model, q)
+				if err != nil {
+					return res, err
+				}
+				if ok {
+					res.Deleted++
+				}
+			}
+		case DeleteWhere:
+			n, err := e.deleteWhere(model, x.Where)
+			if err != nil {
+				return res, err
+			}
+			res.Deleted += n
+		case Modify:
+			del, ins, err := e.modify(model, x)
+			if err != nil {
+				return res, err
+			}
+			res.Deleted += del
+			res.Inserted += ins
+		default:
+			return res, fmt.Errorf("sparql: unsupported update op %T", op)
+		}
+	}
+	return res, nil
+}
+
+// deleteWhere finds all solutions of the pattern, instantiates the
+// pattern quads for each, and deletes them from every model of the
+// dataset. The pattern must consist of plain triple patterns (optionally
+// under GRAPH).
+func (e *Engine) deleteWhere(model string, g *GroupGraphPattern) (int, error) {
+	c := &compiler{vt: newVarTable(), seq: freshCounter()}
+	pipeline, err := c.group(g)
+	if err != nil {
+		return 0, err
+	}
+	// Collect the template patterns for instantiation.
+	var templates []quadPattern
+	for _, op := range pipeline {
+		bgp, ok := op.(*bgpOp)
+		if !ok || len(bgp.filters) > 0 {
+			return 0, fmt.Errorf("sparql: DELETE WHERE supports only plain triple patterns")
+		}
+		templates = append(templates, bgp.patterns...)
+	}
+	ec, err := e.execCtx(model, c.vt)
+	if err != nil {
+		return 0, err
+	}
+	src := runPipeline(ec, pipeline, unitSource(len(c.vt.names)))
+	var toDelete []rdf.Quad
+	if err := src(func(b binding) bool {
+		for _, tp := range templates {
+			q, ok := instantiate(ec, tp, b)
+			if ok {
+				toDelete = append(toDelete, q)
+			}
+		}
+		return true
+	}); err != nil {
+		return 0, err
+	}
+	models, err := e.st.ResolveDataset(model)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, q := range toDelete {
+		for _, m := range models {
+			ok, err := e.st.Delete(e.st.ModelName(m), q)
+			if err != nil {
+				return n, err
+			}
+			if ok {
+				n++
+			}
+		}
+	}
+	return n, nil
+}
+
+// modify executes the DELETE/INSERT..WHERE template form: the WHERE
+// pattern is evaluated against the pre-update state, then all deletes
+// are applied (to every model in the dataset), then all inserts (into
+// the named model).
+func (e *Engine) modify(model string, m Modify) (deleted, inserted int, err error) {
+	c := &compiler{vt: newVarTable(), seq: freshCounter()}
+	pipeline, err := c.group(m.Where)
+	if err != nil {
+		return 0, 0, err
+	}
+	delTmpl := compileTemplates(c, m.Delete)
+	insTmpl := compileTemplates(c, m.Insert)
+	if len(c.vt.names) > maxVars {
+		return 0, 0, fmt.Errorf("sparql: update uses more than %d variables", maxVars)
+	}
+	ec, err := e.execCtx(model, c.vt)
+	if err != nil {
+		return 0, 0, err
+	}
+	var toDelete, toInsert []rdf.Quad
+	delSeen := make(map[rdf.Quad]struct{})
+	insSeen := make(map[rdf.Quad]struct{})
+	src := runPipeline(ec, pipeline, unitSource(len(c.vt.names)))
+	if err := src(func(b binding) bool {
+		instantiateTemplates(ec, delTmpl, b, delSeen, &toDelete)
+		instantiateTemplates(ec, insTmpl, b, insSeen, &toInsert)
+		return true
+	}); err != nil {
+		return 0, 0, err
+	}
+	models, err := e.st.ResolveDataset(model)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, q := range toDelete {
+		for _, mid := range models {
+			ok, err := e.st.Delete(e.st.ModelName(mid), q)
+			if err != nil {
+				return deleted, inserted, err
+			}
+			if ok {
+				deleted++
+			}
+		}
+	}
+	for _, q := range toInsert {
+		ok, err := e.st.Insert(model, q)
+		if err != nil {
+			return deleted, inserted, err
+		}
+		if ok {
+			inserted++
+		}
+	}
+	return deleted, inserted, nil
+}
+
+func instantiate(ec *execCtx, tp quadPattern, b binding) (rdf.Quad, bool) {
+	resolve := func(r posRef) (rdf.Term, bool) {
+		if !r.isVar {
+			return r.term, true
+		}
+		if b[r.slot] == store.NoID {
+			return rdf.Term{}, false
+		}
+		return ec.term(b[r.slot]), true
+	}
+	s, ok := resolve(tp.s)
+	if !ok {
+		return rdf.Quad{}, false
+	}
+	p, ok := resolve(tp.p)
+	if !ok {
+		return rdf.Quad{}, false
+	}
+	o, ok := resolve(tp.o)
+	if !ok {
+		return rdf.Quad{}, false
+	}
+	q := rdf.Quad{S: s, P: p, O: o}
+	switch tp.g.kind {
+	case GraphTerm:
+		q.G = tp.g.term
+	case GraphVar:
+		if b[tp.g.slot] == store.NoID {
+			return rdf.Quad{}, false
+		}
+		q.G = ec.term(b[tp.g.slot])
+	}
+	return q, true
+}

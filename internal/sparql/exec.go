@@ -1,0 +1,1221 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// execCtx carries the store, dataset restriction and variable table
+// through execution.
+type execCtx struct {
+	st          *store.Store
+	models      map[store.ModelID]struct{} // nil = all models
+	singleModel store.ModelID              // set when the dataset is one model
+	vt          *varTable
+	noHashJoin  bool // force NLJ everywhere (join-strategy ablation)
+}
+
+func (ec *execCtx) term(id store.ID) rdf.Term { return ec.st.Dict().Term(id) }
+
+// scan runs a store scan restricted to the dataset's models.
+func (ec *execCtx) scan(p store.Pattern, fn func(store.IDQuad) bool) {
+	if ec.models == nil {
+		ec.st.Scan(p, fn)
+		return
+	}
+	if ec.singleModel != store.NoID {
+		m := ec.singleModel
+		ec.st.Scan(p, func(q store.IDQuad) bool {
+			if q.M != m {
+				return true
+			}
+			return fn(q)
+		})
+		return
+	}
+	ec.st.Scan(p, func(q store.IDQuad) bool {
+		if _, ok := ec.models[q.M]; !ok {
+			return true
+		}
+		return fn(q)
+	})
+}
+
+// unitSource yields a single empty binding of the scope's width.
+func unitSource(width int) source {
+	return func(yield func(binding) bool) error {
+		b := make(binding, width)
+		yield(b)
+		return nil
+	}
+}
+
+// runPipeline folds a pipeline over an input source.
+func runPipeline(ec *execCtx, ops []op, in source) source {
+	src := in
+	for _, o := range ops {
+		src = o.apply(ec, src)
+	}
+	return src
+}
+
+// explainer accumulates a textual plan.
+type explainer struct {
+	b      strings.Builder
+	indent int
+	ec     *execCtx
+}
+
+func (e *explainer) printf(format string, args ...any) {
+	e.b.WriteString(strings.Repeat("  ", e.indent))
+	fmt.Fprintf(&e.b, format, args...)
+	e.b.WriteByte('\n')
+}
+
+// ---------------------------------------------------------------------
+// BGP operator: ordered quad patterns with interleaved filters, executed
+// with adaptive index nested-loop / hash joins.
+// ---------------------------------------------------------------------
+
+type bgpOp struct {
+	patterns []quadPattern
+	filters  []*filterOp
+}
+
+func (o *bgpOp) bound(before varset) varset {
+	v := before
+	for _, qp := range o.patterns {
+		v |= qp.vars()
+	}
+	return v
+}
+
+// resolvedPattern is a quad pattern with constants resolved to IDs.
+type resolvedPattern struct {
+	qp       quadPattern
+	ids      [4]store.ID // const IDs for S,P,O,G (NoID if var/absent)
+	missing  bool        // a constant is not in the dictionary: no matches
+	estConst int         // estimated rows with only constants bound
+}
+
+func (o *bgpOp) resolve(ec *execCtx) []resolvedPattern {
+	rps := make([]resolvedPattern, len(o.patterns))
+	for i, qp := range o.patterns {
+		rp := resolvedPattern{qp: qp}
+		resolvePos := func(idx int, r posRef) {
+			if r.isVar {
+				return
+			}
+			id := ec.st.Dict().Lookup(r.term)
+			if id == store.NoID {
+				rp.missing = true
+			}
+			rp.ids[idx] = id
+		}
+		resolvePos(0, qp.s)
+		resolvePos(1, qp.p)
+		resolvePos(2, qp.o)
+		if qp.g.kind == GraphTerm {
+			id := ec.st.Dict().Lookup(qp.g.term)
+			if id == store.NoID {
+				rp.missing = true
+			}
+			rp.ids[3] = id
+		}
+		if !rp.missing {
+			rp.estConst = ec.st.EstimateCount(rp.constPattern())
+		}
+		rps[i] = rp
+	}
+	return rps
+}
+
+// constPattern builds the store pattern with only constants bound.
+func (rp *resolvedPattern) constPattern() store.Pattern {
+	p := store.AnyPattern()
+	if !rp.qp.s.isVar {
+		p.S = rp.ids[0]
+	}
+	if !rp.qp.p.isVar {
+		p.P = rp.ids[1]
+	}
+	if !rp.qp.o.isVar {
+		p.C = rp.ids[2]
+	}
+	if rp.qp.g.kind == GraphTerm {
+		p.G = rp.ids[3]
+	}
+	return p
+}
+
+// boundPattern builds the store pattern given a current binding.
+func (rp *resolvedPattern) boundPattern(b binding) store.Pattern {
+	p := rp.constPattern()
+	if rp.qp.s.isVar && b[rp.qp.s.slot] != store.NoID {
+		p.S = b[rp.qp.s.slot]
+	}
+	if rp.qp.p.isVar && b[rp.qp.p.slot] != store.NoID {
+		p.P = b[rp.qp.p.slot]
+	}
+	if rp.qp.o.isVar && b[rp.qp.o.slot] != store.NoID {
+		p.C = b[rp.qp.o.slot]
+	}
+	if rp.qp.g.kind == GraphVar && b[rp.qp.g.slot] != store.NoID {
+		p.G = b[rp.qp.g.slot]
+	}
+	return p
+}
+
+// unboundCount counts positions not bound by constants or vars in `bound`.
+func (rp *resolvedPattern) unboundCount(bound varset) int {
+	n := 0
+	check := func(r posRef) {
+		if r.isVar && !bound.has(r.slot) {
+			n++
+		}
+	}
+	check(rp.qp.s)
+	check(rp.qp.p)
+	check(rp.qp.o)
+	if rp.qp.g.kind == GraphVar && !bound.has(rp.qp.g.slot) {
+		n++
+	}
+	return n
+}
+
+// undoList records in-place binding extensions so they can be reverted
+// after recursion; a quad pattern binds at most 4 positions.
+type undoList struct {
+	slots [4]int
+	n     int
+}
+
+func (u *undoList) revert(b binding) {
+	for i := 0; i < u.n; i++ {
+		b[u.slots[i]] = store.NoID
+	}
+}
+
+// bindQuad extends b in place with the quad's values for unbound var
+// positions, filling the undo list, or returns false (with b already
+// reverted) when a repeated variable or an already-bound variable
+// conflicts. GRAPH variables never bind to the default graph.
+func (rp *resolvedPattern) bindQuad(b binding, q store.IDQuad, undo *undoList) bool {
+	undo.n = 0
+	bind := func(isVar bool, slot int, v store.ID) bool {
+		if !isVar {
+			return true
+		}
+		cur := b[slot]
+		if cur == store.NoID {
+			b[slot] = v
+			undo.slots[undo.n] = slot
+			undo.n++
+			return true
+		}
+		return cur == v
+	}
+	if !bind(rp.qp.s.isVar, rp.qp.s.slot, q.S) ||
+		!bind(rp.qp.p.isVar, rp.qp.p.slot, q.P) ||
+		!bind(rp.qp.o.isVar, rp.qp.o.slot, q.C) {
+		undo.revert(b)
+		return false
+	}
+	if rp.qp.g.kind == GraphVar {
+		if q.G == store.NoID || !bind(true, rp.qp.g.slot, q.G) {
+			undo.revert(b)
+			return false
+		}
+	}
+	return true
+}
+
+// matchesGraphCtx checks the graph-context constraint for quads coming
+// from a hash-table or scan where G was left unbound.
+func (rp *resolvedPattern) matchesGraphCtx(q store.IDQuad) bool {
+	if rp.qp.g.kind == GraphVar && q.G == store.NoID {
+		return false
+	}
+	return true
+}
+
+// orderPatterns chooses a greedy join order: repeatedly pick the best
+// next pattern by (connected to the bound variables first, then fewest
+// unbound positions, then smallest constant-bound estimate). The
+// connectivity rule keeps cartesian products out of plans like EQ6b,
+// where a selective but disjoint pattern would otherwise be interleaved
+// before the joining one. Returns indices in execution order.
+func orderPatterns(rps []resolvedPattern, initial varset) []int {
+	n := len(rps)
+	used := make([]bool, n)
+	var order []int
+	bound := initial
+	anyBound := initial != 0
+	for len(order) < n {
+		best := -1
+		bestJoined, bestUnbound, bestEst := false, 99, 0
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			joined := !anyBound || rps[i].qp.vars()&bound != 0
+			ub := rps[i].unboundCount(bound)
+			est := rps[i].estConst
+			better := false
+			switch {
+			case best < 0:
+				better = true
+			case joined != bestJoined:
+				better = joined
+			case ub != bestUnbound:
+				better = ub < bestUnbound
+			default:
+				better = est < bestEst
+			}
+			if better {
+				best, bestJoined, bestUnbound, bestEst = i, joined, ub, est
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		bound |= rps[best].qp.vars()
+		anyBound = anyBound || bound != 0
+	}
+	return order
+}
+
+// hashJoinMinInput is the number of input bindings that must stream
+// through a pattern before the executor considers switching from index
+// nested-loop join to a hash join built from a full pattern scan. This
+// mirrors the paper's plans: selective node/edge queries stay on NLJ,
+// while multi-hop traversals and triangle counting switch to hash joins
+// with full scans.
+const hashJoinMinInput = 1024
+
+func (o *bgpOp) apply(ec *execCtx, in source) source {
+	return func(yield func(binding) bool) error {
+		rps := o.resolve(ec)
+		for _, rp := range rps {
+			if rp.missing {
+				return nil // a constant term does not occur: no solutions
+			}
+		}
+		order := orderPatterns(rps, 0)
+
+		// Place filters at the earliest position where their variables
+		// are all bound; filters never bound become final filters.
+		bound := varset(0)
+		filterAt := make([][]*filterOp, len(order)+1)
+		placed := make([]bool, len(o.filters))
+		for step, oi := range order {
+			bound |= rps[oi].qp.vars()
+			for fi, f := range o.filters {
+				if !placed[fi] && f.need&^bound == 0 {
+					filterAt[step+1] = append(filterAt[step+1], f)
+					placed[fi] = true
+				}
+			}
+		}
+		var finalFilters []*filterOp
+		for fi, f := range o.filters {
+			if !placed[fi] {
+				finalFilters = append(finalFilters, f)
+			}
+		}
+
+		// hash tables built lazily per pattern step.
+		type hashState struct {
+			built bool
+			// key positions: which of S,P,O,G of the pattern join with
+			// already-bound vars (decided when built, from the binding).
+			keySlots []int // var slots in the outer binding
+			keyPos   []int // 0=S,1=P,2=O,3=G
+			table    map[[4]store.ID][]store.IDQuad
+		}
+		hashes := make([]hashState, len(order))
+		inputSeen := make([]int, len(order))
+		undos := make([]undoList, len(order))
+
+		var step func(depth int, b binding) bool
+		emitRow := func(b binding) bool {
+			for _, f := range finalFilters {
+				v, err := evalBool(ec, f.cond, b)
+				if err != nil || !v {
+					return true
+				}
+			}
+			return yield(b)
+		}
+		step = func(depth int, b binding) bool {
+			for _, f := range filterAt[depth] {
+				v, err := evalBool(ec, f.cond, b)
+				if err != nil || !v {
+					return true // filtered out; keep going
+				}
+			}
+			if depth == len(order) {
+				return emitRow(b)
+			}
+			rp := &rps[order[depth]]
+			inputSeen[depth]++
+			hs := &hashes[depth]
+
+			// Decide whether to (lazily) switch this step to a hash join.
+			if !hs.built && !ec.noHashJoin && inputSeen[depth] > hashJoinMinInput &&
+				rp.estConst < 64*inputSeen[depth] {
+				hs.built = true
+				hs.table = make(map[[4]store.ID][]store.IDQuad)
+				// Join key: pattern var positions currently bound in b.
+				addKey := func(pos int, r posRef) {
+					if r.isVar && b[r.slot] != store.NoID {
+						hs.keySlots = append(hs.keySlots, r.slot)
+						hs.keyPos = append(hs.keyPos, pos)
+					}
+				}
+				addKey(0, rp.qp.s)
+				addKey(1, rp.qp.p)
+				addKey(2, rp.qp.o)
+				if rp.qp.g.kind == GraphVar {
+					addKey(3, posRef{isVar: true, slot: rp.qp.g.slot})
+				}
+				ec.scan(rp.constPattern(), func(q store.IDQuad) bool {
+					if !rp.matchesGraphCtx(q) {
+						return true
+					}
+					var key [4]store.ID
+					vals := [4]store.ID{q.S, q.P, q.C, q.G}
+					for i, pos := range hs.keyPos {
+						key[i] = vals[pos]
+					}
+					hs.table[key] = append(hs.table[key], q)
+					return true
+				})
+			}
+
+			if hs.built {
+				var key [4]store.ID
+				usable := true
+				for i, slot := range hs.keySlots {
+					if b[slot] == store.NoID {
+						usable = false // heterogeneous boundness: NLJ fallback
+						break
+					}
+					key[i] = b[slot]
+				}
+				if !usable {
+					goto nlj
+				}
+				for _, q := range hs.table[key] {
+					if !rp.bindQuad(b, q, &undos[depth]) {
+						continue
+					}
+					// Re-check non-key bound positions (vars bound after
+					// the table was built are validated by bindQuad).
+					cont := step(depth+1, b)
+					undos[depth].revert(b)
+					if !cont {
+						return false
+					}
+				}
+				return true
+			}
+
+		nlj:
+			// Index nested-loop join.
+			stopped := false
+			ec.scan(rp.boundPattern(b), func(q store.IDQuad) bool {
+				if !rp.matchesGraphCtx(q) {
+					return true
+				}
+				if !rp.bindQuad(b, q, &undos[depth]) {
+					return true
+				}
+				cont := step(depth+1, b)
+				undos[depth].revert(b)
+				if !cont {
+					stopped = true
+					return false
+				}
+				return true
+			})
+			return !stopped
+		}
+
+		return in(func(b binding) bool {
+			return step(0, b)
+		})
+	}
+}
+
+func (o *bgpOp) explain(e *explainer) {
+	rps := o.resolve(e.ec)
+	order := orderPatterns(rps, 0)
+	e.printf("BGP (%d patterns):", len(o.patterns))
+	e.indent++
+	bound := varset(0)
+	for i, oi := range order {
+		rp := rps[oi]
+		var boundCols []store.Col
+		describe := func(col store.Col, r posRef) {
+			if !r.isVar || bound.has(r.slot) {
+				boundCols = append(boundCols, col)
+			}
+		}
+		describe(store.ColS, rp.qp.s)
+		describe(store.ColP, rp.qp.p)
+		describe(store.ColC, rp.qp.o)
+		switch rp.qp.g.kind {
+		case GraphTerm:
+			boundCols = append(boundCols, store.ColG)
+		case GraphVar:
+			if bound.has(rp.qp.g.slot) {
+				boundCols = append(boundCols, store.ColG)
+			}
+		}
+		spec := e.ec.st.ChooseIndexByBound(boundCols)
+		cols := make([]string, len(boundCols))
+		for j, c := range boundCols {
+			cols[j] = c.String()
+		}
+		access := "full index scan"
+		if len(boundCols) > 0 {
+			access = "index range scan"
+		}
+		e.printf("%d: %s  [%s bound] index=%s (%s) est=%d",
+			i+1, rp.qp.text, strings.Join(cols, ","), spec, access, rp.estConst)
+		bound |= rp.qp.vars()
+	}
+	for range o.filters {
+		e.printf("filter (pushed to earliest bound position)")
+	}
+	e.indent--
+}
+
+// ---------------------------------------------------------------------
+// Filter, Bind, Values
+// ---------------------------------------------------------------------
+
+type filterOp struct {
+	cond compiledExpr
+	need varset
+	text string
+}
+
+func (o *filterOp) bound(before varset) varset { return before }
+
+func (o *filterOp) apply(ec *execCtx, in source) source {
+	return func(yield func(binding) bool) error {
+		return in(func(b binding) bool {
+			v, err := evalBool(ec, o.cond, b)
+			if err != nil || !v {
+				return true
+			}
+			return yield(b)
+		})
+	}
+}
+
+func (o *filterOp) explain(e *explainer) { e.printf("Filter") }
+
+type bindOp struct {
+	expr compiledExpr
+	slot int
+}
+
+func (o *bindOp) bound(before varset) varset { return before.with(o.slot) }
+
+func (o *bindOp) apply(ec *execCtx, in source) source {
+	return func(yield func(binding) bool) error {
+		return in(func(b binding) bool {
+			t, err := o.expr.eval(ec, b)
+			if err != nil {
+				// Expression errors leave the variable unbound.
+				return yield(b)
+			}
+			old := b[o.slot]
+			b[o.slot] = ec.st.Dict().Intern(t)
+			cont := yield(b)
+			b[o.slot] = old
+			return cont
+		})
+	}
+}
+
+func (o *bindOp) explain(e *explainer) { e.printf("Bind ?%s", e.ec.vt.names[o.slot]) }
+
+type valuesOp struct {
+	slots []int
+	rows  [][]rdf.Term
+}
+
+func (o *valuesOp) bound(before varset) varset {
+	v := before
+	for _, s := range o.slots {
+		v = v.with(s)
+	}
+	return v
+}
+
+func (o *valuesOp) apply(ec *execCtx, in source) source {
+	return func(yield func(binding) bool) error {
+		// Resolve row terms once.
+		ids := make([][]store.ID, len(o.rows))
+		for i, row := range o.rows {
+			ids[i] = make([]store.ID, len(row))
+			for j, t := range row {
+				if t.IsZero() {
+					ids[i][j] = store.NoID // UNDEF
+				} else {
+					ids[i][j] = ec.st.Dict().Intern(t)
+				}
+			}
+		}
+		return in(func(b binding) bool {
+			for _, row := range ids {
+				var undo []int
+				ok := true
+				for j, slot := range o.slots {
+					v := row[j]
+					if v == store.NoID {
+						continue // UNDEF joins with anything
+					}
+					if b[slot] == store.NoID {
+						b[slot] = v
+						undo = append(undo, slot)
+					} else if b[slot] != v {
+						ok = false
+						break
+					}
+				}
+				cont := true
+				if ok {
+					cont = yield(b)
+				}
+				for _, s := range undo {
+					b[s] = store.NoID
+				}
+				if !cont {
+					return false
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (o *valuesOp) explain(e *explainer) { e.printf("Values (%d rows)", len(o.rows)) }
+
+// ---------------------------------------------------------------------
+// Union, Optional, Minus
+// ---------------------------------------------------------------------
+
+type unionOp struct {
+	branches [][]op
+}
+
+func (o *unionOp) bound(before varset) varset {
+	// Only vars bound in EVERY branch are guaranteed.
+	var all varset
+	for i, br := range o.branches {
+		v := pipelineVars(br)
+		if i == 0 {
+			all = v
+		} else {
+			all &= v
+		}
+	}
+	return before | all
+}
+
+func (o *unionOp) apply(ec *execCtx, in source) source {
+	return func(yield func(binding) bool) error {
+		var innerErr error
+		err := in(func(b binding) bool {
+			for _, br := range o.branches {
+				src := runPipeline(ec, br, singleton(b))
+				stopped := false
+				if innerErr = src(func(out binding) bool {
+					if !yield(out) {
+						stopped = true
+						return false
+					}
+					return true
+				}); innerErr != nil {
+					return false
+				}
+				if stopped {
+					return false
+				}
+			}
+			return true
+		})
+		if innerErr != nil {
+			return innerErr
+		}
+		return err
+	}
+}
+
+func (o *unionOp) explain(e *explainer) {
+	e.printf("Union (%d branches):", len(o.branches))
+	e.indent++
+	for _, br := range o.branches {
+		for _, sub := range br {
+			sub.explain(e)
+		}
+	}
+	e.indent--
+}
+
+// singleton yields one borrowed binding.
+func singleton(b binding) source {
+	return func(yield func(binding) bool) error {
+		yield(b)
+		return nil
+	}
+}
+
+type optionalOp struct {
+	inner     []op
+	innerVars varset
+}
+
+func (o *optionalOp) bound(before varset) varset { return before }
+
+func (o *optionalOp) apply(ec *execCtx, in source) source {
+	return func(yield func(binding) bool) error {
+		var innerErr error
+		err := in(func(b binding) bool {
+			matched := false
+			src := runPipeline(ec, o.inner, singleton(b))
+			stopped := false
+			if innerErr = src(func(out binding) bool {
+				matched = true
+				if !yield(out) {
+					stopped = true
+					return false
+				}
+				return true
+			}); innerErr != nil {
+				return false
+			}
+			if stopped {
+				return false
+			}
+			if !matched {
+				return yield(b)
+			}
+			return true
+		})
+		if innerErr != nil {
+			return innerErr
+		}
+		return err
+	}
+}
+
+func (o *optionalOp) explain(e *explainer) {
+	e.printf("Optional:")
+	e.indent++
+	for _, sub := range o.inner {
+		sub.explain(e)
+	}
+	e.indent--
+}
+
+type minusOp struct {
+	inner     []op
+	innerVars varset
+}
+
+func (o *minusOp) bound(before varset) varset { return before }
+
+func (o *minusOp) apply(ec *execCtx, in source) source {
+	return func(yield func(binding) bool) error {
+		var innerErr error
+		err := in(func(b binding) bool {
+			// MINUS only removes when the domains share a bound var.
+			shared := false
+			for _, slot := range sortedSlots(o.innerVars) {
+				if slot < len(b) && b[slot] != store.NoID {
+					shared = true
+					break
+				}
+			}
+			if !shared {
+				return yield(b)
+			}
+			found := false
+			src := runPipeline(ec, o.inner, singleton(b))
+			if innerErr = src(func(binding) bool {
+				found = true
+				return false
+			}); innerErr != nil {
+				return false
+			}
+			if found {
+				return true
+			}
+			return yield(b)
+		})
+		if innerErr != nil {
+			return innerErr
+		}
+		return err
+	}
+}
+
+func (o *minusOp) explain(e *explainer) {
+	e.printf("Minus:")
+	e.indent++
+	for _, sub := range o.inner {
+		sub.explain(e)
+	}
+	e.indent--
+}
+
+// ---------------------------------------------------------------------
+// Sub-select
+// ---------------------------------------------------------------------
+
+type subselectOp struct {
+	plan  *compiled
+	outer []int // outer slots for the projected vars
+	inner []int // inner projection slots
+}
+
+func (o *subselectOp) bound(before varset) varset {
+	v := before
+	for _, s := range o.outer {
+		v = v.with(s)
+	}
+	return v
+}
+
+func (o *subselectOp) apply(ec *execCtx, in source) source {
+	return func(yield func(binding) bool) error {
+		// Evaluate the sub-select once, independently (SPARQL bottom-up
+		// semantics), then join with the input stream.
+		subCtx := &execCtx{st: ec.st, models: ec.models, singleModel: ec.singleModel, vt: o.plan.vt, noHashJoin: ec.noHashJoin}
+		rows, err := evalSelect(subCtx, o.plan)
+		if err != nil {
+			return err
+		}
+		// Materialized rows hold term IDs per projected column.
+		mat := make([][]store.ID, len(rows))
+		for i, r := range rows {
+			ids := make([]store.ID, len(o.inner))
+			for j := range o.inner {
+				if r[j].IsZero() {
+					ids[j] = store.NoID
+				} else {
+					ids[j] = ec.st.Dict().Intern(r[j])
+				}
+			}
+			mat[i] = ids
+		}
+		return in(func(b binding) bool {
+			for _, row := range mat {
+				var undo []int
+				ok := true
+				for j, slot := range o.outer {
+					v := row[j]
+					if v == store.NoID {
+						continue
+					}
+					if b[slot] == store.NoID {
+						b[slot] = v
+						undo = append(undo, slot)
+					} else if b[slot] != v {
+						ok = false
+						break
+					}
+				}
+				cont := true
+				if ok {
+					cont = yield(b)
+				}
+				for _, s := range undo {
+					b[s] = store.NoID
+				}
+				if !cont {
+					return false
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (o *subselectOp) explain(e *explainer) {
+	e.printf("SubSelect (join on projected vars):")
+	e.indent++
+	sub := &explainer{ec: &execCtx{st: e.ec.st, models: e.ec.models, singleModel: e.ec.singleModel, vt: o.plan.vt}, indent: e.indent}
+	for _, sop := range o.plan.pipeline {
+		sop.explain(sub)
+	}
+	e.b.WriteString(sub.b.String())
+	e.indent--
+}
+
+// ---------------------------------------------------------------------
+// Select evaluation (grouping, ordering, projection)
+// ---------------------------------------------------------------------
+
+// evalSelect runs a compiled select and materializes the projected rows
+// as terms (zero Term = unbound).
+//
+// Aggregating queries are evaluated streaming: solutions are folded into
+// group accumulators as they are produced, never materialized — this is
+// what makes the paper's EQ11d/e path-counting queries (hundreds of
+// millions of solution rows at full scale) feasible.
+func evalSelect(ec *execCtx, cp *compiled) ([][]rdf.Term, error) {
+	width := len(cp.vt.names)
+	src := runPipeline(ec, cp.pipeline, unitSource(width))
+
+	var solutions []binding
+	if cp.grouping {
+		var err error
+		solutions, err = groupSolutions(ec, cp, src)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		// Plain SELECT with LIMIT and no ORDER BY / DISTINCT /
+		// projection expressions can stop as soon as enough rows exist.
+		budget := -1
+		if cp.limit >= 0 && len(cp.orderBy) == 0 && !cp.distinct && !hasProjExprs(cp) {
+			budget = cp.offset + cp.limit
+		}
+		if err := src(func(b binding) bool {
+			solutions = append(solutions, b.clone())
+			return budget < 0 || len(solutions) < budget
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Extended projection (expressions with AS).
+	for _, pr := range cp.projection {
+		if pr.expr == nil {
+			continue
+		}
+		if _, isSlot := pr.expr.(*exprSlot); isSlot && cp.grouping {
+			continue // aggregate already materialized into the slot
+		}
+		for _, b := range solutions {
+			t, err := pr.expr.eval(ec, b)
+			if err != nil {
+				b[pr.slot] = store.NoID
+				continue
+			}
+			b[pr.slot] = ec.st.Dict().Intern(t)
+		}
+	}
+
+	// ORDER BY.
+	if len(cp.orderBy) > 0 {
+		keys := make([][]rdf.Term, len(solutions))
+		for i, b := range solutions {
+			row := make([]rdf.Term, len(cp.orderBy))
+			for j, ok := range cp.orderBy {
+				t, err := ok.expr.eval(ec, b)
+				if err == nil {
+					row[j] = t
+				}
+			}
+			keys[i] = row
+		}
+		idx := make([]int, len(solutions))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, c int) bool {
+			ka, kc := keys[idx[a]], keys[idx[c]]
+			for j, ok := range cp.orderBy {
+				cmp := orderCompare(ka[j], kc[j])
+				if ok.desc {
+					cmp = -cmp
+				}
+				if cmp != 0 {
+					return cmp < 0
+				}
+			}
+			return false
+		})
+		sorted := make([]binding, len(solutions))
+		for i, ix := range idx {
+			sorted[i] = solutions[ix]
+		}
+		solutions = sorted
+	}
+
+	// Project.
+	rows := make([][]rdf.Term, 0, len(solutions))
+	var seen map[string]struct{}
+	if cp.distinct {
+		seen = make(map[string]struct{})
+	}
+	for _, b := range solutions {
+		row := make([]rdf.Term, len(cp.projection))
+		for j, pr := range cp.projection {
+			if pr.slot < len(b) && b[pr.slot] != store.NoID {
+				row[j] = ec.term(b[pr.slot])
+			}
+		}
+		if cp.distinct {
+			key := rowKey(row)
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+		}
+		rows = append(rows, row)
+	}
+
+	// OFFSET / LIMIT.
+	if cp.offset > 0 {
+		if cp.offset >= len(rows) {
+			rows = nil
+		} else {
+			rows = rows[cp.offset:]
+		}
+	}
+	if cp.limit >= 0 && cp.limit < len(rows) {
+		rows = rows[:cp.limit]
+	}
+	return rows, nil
+}
+
+func hasProjExprs(cp *compiled) bool {
+	for _, pr := range cp.projection {
+		if pr.expr != nil {
+			return true
+		}
+	}
+	return false
+}
+
+func rowKey(row []rdf.Term) string {
+	var sb strings.Builder
+	for _, t := range row {
+		sb.WriteString(t.String())
+		sb.WriteByte('\x00')
+	}
+	return sb.String()
+}
+
+// aggState accumulates one aggregate within one group.
+type aggState struct {
+	count   int64
+	sum     rdf.Value
+	sumOK   bool
+	min     rdf.Term
+	max     rdf.Term
+	sample  rdf.Term
+	concat  []string
+	seen    map[string]struct{} // DISTINCT
+	started bool
+}
+
+// groupSolutions consumes the source and folds each solution into its
+// group's aggregate states, returning one representative binding per
+// group with the aggregate result slots filled.
+func groupSolutions(ec *execCtx, cp *compiled, src source) ([]binding, error) {
+	width := len(cp.vt.names)
+	type groupData struct {
+		rep    binding
+		states []*aggState
+	}
+	groups := make(map[string]*groupData)
+	var order []string
+
+	var keyBuf strings.Builder
+	keyOf := func(b binding) string {
+		if len(cp.groupBy) == 0 {
+			return ""
+		}
+		keyBuf.Reset()
+		for _, ge := range cp.groupBy {
+			// Group keys of plain variables hash by ID, not lexical form.
+			if vs, isVar := ge.(*exprSlot); isVar {
+				fmt.Fprintf(&keyBuf, "#%d", b[vs.slot])
+			} else if t, err := ge.eval(ec, b); err == nil {
+				keyBuf.WriteString(t.String())
+			}
+			keyBuf.WriteByte('\x00')
+		}
+		return keyBuf.String()
+	}
+
+	newGroup := func(b binding) *groupData {
+		// Representative keeps only GROUP BY variables.
+		rep := make(binding, width)
+		for _, ge := range cp.groupBy {
+			if vs, isVar := ge.(*exprSlot); isVar {
+				rep[vs.slot] = b[vs.slot]
+			}
+		}
+		gd := &groupData{rep: rep, states: make([]*aggState, len(cp.aggregates))}
+		for i := range gd.states {
+			gd.states[i] = &aggState{}
+		}
+		return gd
+	}
+
+	// Implicit single group (no GROUP BY): skip the key map — path
+	// counting queries like EQ11e fold hundreds of millions of rows
+	// into one group.
+	var single *groupData
+	if len(cp.groupBy) == 0 {
+		single = newGroup(nil)
+		groups[""] = single
+		order = append(order, "")
+	}
+
+	if err := src(func(b binding) bool {
+		gd := single
+		if gd == nil {
+			key := keyOf(b)
+			var ok bool
+			gd, ok = groups[key]
+			if !ok {
+				gd = newGroup(b)
+				groups[key] = gd
+				order = append(order, key)
+			}
+		}
+		for i, agg := range cp.aggregates {
+			st := gd.states[i]
+			// Fast path: COUNT(?v) only needs boundness, no term.
+			if agg.fn == "COUNT" && !agg.distinct {
+				if agg.arg == nil {
+					st.count++
+					continue
+				}
+				if vs, isVar := agg.arg.(*exprSlot); isVar {
+					if vs.slot < len(b) && b[vs.slot] != store.NoID {
+						st.count++
+					}
+					continue
+				}
+			}
+			var val rdf.Term
+			if agg.arg != nil {
+				t, err := agg.arg.eval(ec, b)
+				if err != nil {
+					continue // error values do not contribute
+				}
+				val = t
+			}
+			if agg.distinct {
+				if st.seen == nil {
+					st.seen = make(map[string]struct{})
+				}
+				k := val.String()
+				if _, dup := st.seen[k]; dup {
+					continue
+				}
+				st.seen[k] = struct{}{}
+			}
+			accumulate(st, agg, val)
+		}
+		return true
+	}); err != nil {
+		return nil, err
+	}
+
+	out := make([]binding, 0, len(groups))
+	for _, key := range order {
+		gd := groups[key]
+		for i, agg := range cp.aggregates {
+			t, ok := finishAgg(gd.states[i], agg)
+			if ok {
+				gd.rep[agg.slot] = ec.st.Dict().Intern(t)
+			}
+		}
+		keep := true
+		for _, h := range cp.having {
+			v, err := evalBool(ec, h, gd.rep)
+			if err != nil || !v {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, gd.rep)
+		}
+	}
+	return out, nil
+}
+
+func accumulate(st *aggState, agg compiledAgg, val rdf.Term) {
+	switch agg.fn {
+	case "COUNT":
+		st.count++
+	case "SUM", "AVG":
+		v, ok := rdf.LiteralValue(val)
+		if !ok || !v.IsNumeric() {
+			return
+		}
+		st.count++
+		if !st.started {
+			st.sum, st.started, st.sumOK = v, true, true
+			return
+		}
+		kind := rdf.PromoteNumeric(st.sum.Kind, v.Kind)
+		if kind == rdf.ValueInteger {
+			st.sum = rdf.Value{Kind: kind, Int: st.sum.Int + v.Int}
+		} else {
+			st.sum = rdf.Value{Kind: kind, Flt: st.sum.Float() + v.Float()}
+		}
+	case "MIN", "MAX":
+		if !st.started {
+			st.min, st.max, st.started = val, val, true
+			return
+		}
+		if orderCompare(val, st.min) < 0 {
+			st.min = val
+		}
+		if orderCompare(val, st.max) > 0 {
+			st.max = val
+		}
+	case "SAMPLE":
+		if !st.started {
+			st.sample, st.started = val, true
+		}
+	case "GROUP_CONCAT":
+		st.concat = append(st.concat, val.Value)
+	}
+}
+
+func finishAgg(st *aggState, agg compiledAgg) (rdf.Term, bool) {
+	switch agg.fn {
+	case "COUNT":
+		return rdf.NewInteger(st.count), true
+	case "SUM":
+		if !st.sumOK {
+			return rdf.NewInteger(0), true
+		}
+		return rdf.NumericLiteral(st.sum), true
+	case "AVG":
+		if st.count == 0 {
+			return rdf.NewInteger(0), true
+		}
+		return rdf.NumericLiteral(rdf.Value{Kind: rdf.ValueDouble, Flt: st.sum.Float() / float64(st.count)}), true
+	case "MIN":
+		return st.min, st.started
+	case "MAX":
+		return st.max, st.started
+	case "SAMPLE":
+		return st.sample, st.started
+	case "GROUP_CONCAT":
+		return rdf.NewLiteral(strings.Join(st.concat, " ")), true
+	default:
+		return rdf.Term{}, false
+	}
+}

@@ -1,0 +1,315 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind uint8
+
+const (
+	tokEOF     tokenKind = iota
+	tokIdent             // keywords, prefixed-name prefixes, function names, 'a'
+	tokVar               // ?name or $name
+	tokIRI               // <...>
+	tokPName             // prefix:local
+	tokBlank             // _:label
+	tokString            // "..." or '...'
+	tokInteger           // 123
+	tokDecimal           // 1.5
+	tokDouble            // 1e3
+	tokPunct             // punctuation and operators
+	tokLangTag           // @en-us
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+// lex tokenizes the whole input up front; SPARQL queries are small.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tok)
+		if tok.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("sparql: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpace()
+	start, line := l.pos, l.line
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: start, line: line}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case c == '?' || c == '$':
+		l.pos++
+		n := l.takeWhile(isNameChar)
+		if n == "" {
+			if c == '?' { // bare '?' is the zero-or-one path operator
+				return token{kind: tokPunct, text: "?", pos: start, line: line}, nil
+			}
+			return token{}, l.errf("empty variable name")
+		}
+		return token{kind: tokVar, text: n, pos: start, line: line}, nil
+	case c == '<':
+		// '<' is ambiguous: IRIREF or the less-than operator. It is an
+		// IRI only when a '>' appears before any whitespace.
+		if !l.looksLikeIRI() {
+			return l.lexPunct(start, line)
+		}
+		l.pos++
+		end := strings.IndexByte(l.src[l.pos:], '>')
+		if end < 0 {
+			return token{}, l.errf("unterminated IRI")
+		}
+		iri := l.src[l.pos : l.pos+end]
+		l.pos += end + 1
+		return token{kind: tokIRI, text: iri, pos: start, line: line}, nil
+	case c == '"' || c == '\'':
+		s, err := l.lexString(c)
+		if err != nil {
+			return token{}, err
+		}
+		return token{kind: tokString, text: s, pos: start, line: line}, nil
+	case c == '_' && l.pos+1 < len(l.src) && l.src[l.pos+1] == ':':
+		l.pos += 2
+		n := l.takeWhile(isNameChar)
+		if n == "" {
+			return token{}, l.errf("empty blank node label")
+		}
+		return token{kind: tokBlank, text: n, pos: start, line: line}, nil
+	case c == '@':
+		l.pos++
+		n := l.takeWhile(func(r rune) bool { return isAlnumRune(r) || r == '-' })
+		if n == "" {
+			return token{}, l.errf("empty language tag")
+		}
+		return token{kind: tokLangTag, text: n, pos: start, line: line}, nil
+	case c >= '0' && c <= '9' || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+		return l.lexNumber(start, line)
+	case isNameStartByte(c):
+		word := l.takeWhile(isNameChar)
+		// Prefixed name? (prefix:local, or :local via empty prefix)
+		if l.peekByte() == ':' {
+			l.pos++
+			local := l.lexLocalName()
+			return token{kind: tokPName, text: word + ":" + local, pos: start, line: line}, nil
+		}
+		return token{kind: tokIdent, text: word, pos: start, line: line}, nil
+	case c == ':':
+		l.pos++
+		local := l.lexLocalName()
+		return token{kind: tokPName, text: ":" + local, pos: start, line: line}, nil
+	default:
+		return l.lexPunct(start, line)
+	}
+}
+
+func (l *lexer) lexPunct(start, line int) (token, error) {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "&&", "||", "!=", "<=", ">=", "^^":
+		l.pos += 2
+		return token{kind: tokPunct, text: two, pos: start, line: line}, nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '{', '}', '(', ')', '.', ';', ',', '*', '+', '/', '|', '^', '!', '=', '<', '>', '-', '?':
+		l.pos++
+		return token{kind: tokPunct, text: string(c), pos: start, line: line}, nil
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+	return token{}, l.errf("unexpected character %q", r)
+}
+
+func (l *lexer) lexNumber(start, line int) (token, error) {
+	kind := tokInteger
+	l.takeWhileBytes(isDigit)
+	if l.peekByte() == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]) {
+		kind = tokDecimal
+		l.pos++
+		l.takeWhileBytes(isDigit)
+	}
+	if b := l.peekByte(); b == 'e' || b == 'E' {
+		kind = tokDouble
+		l.pos++
+		if b := l.peekByte(); b == '+' || b == '-' {
+			l.pos++
+		}
+		if !isDigit(l.peekByte()) {
+			return token{}, l.errf("malformed double literal")
+		}
+		l.takeWhileBytes(isDigit)
+	}
+	return token{kind: kind, text: l.src[start:l.pos], pos: start, line: line}, nil
+}
+
+func (l *lexer) lexString(quote byte) (string, error) {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return "", l.errf("unterminated string literal")
+		}
+		c := l.src[l.pos]
+		if c == quote {
+			l.pos++
+			return b.String(), nil
+		}
+		if c == '\n' {
+			return "", l.errf("newline in string literal")
+		}
+		if c == '\\' {
+			if l.pos+1 >= len(l.src) {
+				return "", l.errf("dangling escape")
+			}
+			l.pos++
+			switch e := l.src[l.pos]; e {
+			case 't':
+				b.WriteByte('\t')
+			case 'n':
+				b.WriteByte('\n')
+			case 'r':
+				b.WriteByte('\r')
+			case 'b':
+				b.WriteByte('\b')
+			case 'f':
+				b.WriteByte('\f')
+			case '"', '\'', '\\':
+				b.WriteByte(e)
+			default:
+				return "", l.errf("unknown escape \\%c", e)
+			}
+			l.pos++
+			continue
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+}
+
+func (l *lexer) takeWhile(pred func(rune) bool) string {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if !pred(r) {
+			break
+		}
+		l.pos += size
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *lexer) takeWhileBytes(pred func(byte) bool) {
+	for l.pos < len(l.src) && pred(l.src[l.pos]) {
+		l.pos++
+	}
+}
+
+// looksLikeIRI reports whether the '<' at the current position begins an
+// IRIREF: a '>' occurs before any whitespace or another '<'.
+func (l *lexer) looksLikeIRI() bool {
+	for i := l.pos + 1; i < len(l.src); i++ {
+		switch l.src[i] {
+		case '>':
+			return true
+		case ' ', '\t', '\n', '\r', '<':
+			return false
+		}
+	}
+	return false
+}
+
+// lexLocalName reads the local part of a prefixed name. SPARQL local
+// names may contain interior dots but not end with one, so trailing dots
+// are returned to the stream (they are triple terminators).
+func (l *lexer) lexLocalName() string {
+	local := l.takeWhile(isLocalNameChar)
+	for strings.HasSuffix(local, ".") {
+		local = local[:len(local)-1]
+		l.pos--
+	}
+	return local
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isNameStartByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c >= 0x80
+}
+
+func isNameChar(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func isAlnumRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// isLocalNameChar accepts the characters we allow in the local part of a
+// prefixed name. SPARQL allows more (percent escapes etc.); this subset
+// covers the paper's vocabulary, including leading digits (pg:v1).
+func isLocalNameChar(r rune) bool {
+	return isNameChar(r) || r == '-' || r == '.'
+}

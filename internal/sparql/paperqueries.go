@@ -1,0 +1,116 @@
+package sparql
+
+// This file catalogs the experiment queries of the paper (Table 10,
+// EQ1–EQ12) verbatim, plus the Q1–Q4 graph patterns of Table 3. The "a"
+// variants target the named-graph (NG) scheme, the "b" variants the
+// subproperty (SP) scheme; unsuffixed queries are scheme-independent.
+
+// paperPrologue declares the namespaces of §2.2.
+const paperPrologue = `
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+PREFIX r: <http://pg/r/>
+PREFIX k: <http://pg/k/>
+PREFIX rel: <http://pg/r/>
+PREFIX key: <http://pg/k/>
+`
+
+// PaperQueries returns the Table 10 queries (EQ1–EQ12), keyed by their
+// paper names. The EQ11 start node is parameterized elsewhere; here it
+// uses the paper's literal <http://pg/n6160742>.
+func PaperQueries() map[string]string {
+	m := map[string]string{
+		"EQ1": `SELECT ?n WHERE { ?n k:hasTag "#webseries" }`,
+
+		"EQ2": `SELECT ?nf WHERE { ?n k:hasTag "#webseries" . ?nf r:follows ?n }`,
+
+		"EQ3": `SELECT ?n4 WHERE { ?n k:hasTag ?t . ?n r:follows ?n2 . ?n2 k:hasTag ?t .
+			?n2 r:follows ?n3 . ?n3 k:hasTag ?t . ?n3 r:follows ?n4 .
+			?n4 k:hasTag ?t FILTER (?t = "#webseries") }`,
+
+		"EQ4": `SELECT ?n ?k ?v WHERE { ?n k:hasTag "#webseries" . ?n ?k ?v FILTER (isLiteral(?v)) }`,
+
+		"EQ5a": `SELECT ?n2 WHERE { GRAPH ?g1 { ?n r:follows ?n2 . ?g1 k:hasTag "#webseries" } }`,
+
+		"EQ5b": `SELECT ?n2 WHERE { ?s ?p ?n2 . ?p rdfs:subPropertyOf r:follows . ?p k:hasTag "#webseries" }`,
+
+		"EQ6a": `SELECT ?n3 WHERE { GRAPH ?g1 { ?n r:follows ?n2 . ?g1 k:hasTag "#webseries" }
+			?n2 r:follows ?n3 }`,
+
+		"EQ6b": `SELECT ?n3 WHERE { ?s ?p ?n2 . ?p rdfs:subPropertyOf r:follows .
+			?p k:hasTag "#webseries" . ?n2 r:follows ?n3 }`,
+
+		"EQ7a": `SELECT ?n4 WHERE { GRAPH ?g1 { ?n r:follows ?n2 . ?g1 k:hasTag "#webseries" }
+			GRAPH ?g2 { ?n2 r:follows ?n3 . ?g2 k:hasTag "#webseries" }
+			GRAPH ?g3 { ?n3 r:follows ?n4 . ?g3 k:hasTag "#webseries" } }`,
+
+		"EQ7b": `SELECT ?n4 WHERE { ?s ?p ?n2 . ?p rdfs:subPropertyOf r:follows . ?p k:hasTag "#webseries" .
+			?n2 ?p2 ?n3 . ?p2 rdfs:subPropertyOf r:follows . ?p2 k:hasTag "#webseries" .
+			?n3 ?p3 ?n4 . ?p3 rdfs:subPropertyOf r:follows . ?p3 k:hasTag "#webseries" }`,
+
+		"EQ8a": `SELECT ?n2 ?k ?v WHERE { GRAPH ?g1 { ?n r:follows ?n2 . ?g1 k:hasTag "#webseries" .
+			?g1 ?k ?v FILTER (isLiteral(?v)) } }`,
+
+		"EQ8b": `SELECT ?n2 ?k ?v WHERE { ?s ?p ?n2 . ?p rdfs:subPropertyOf r:follows .
+			?p k:hasTag "#webseries" . ?p ?k ?v FILTER (isLiteral(?v)) }`,
+
+		"EQ9": `SELECT ?inDeg (COUNT(*) as ?cnt)
+			WHERE { SELECT ?n2 (COUNT(*) as ?inDeg)
+				WHERE { ?n1 (r:knows|r:follows) ?n2 }
+				GROUP BY ?n2 } GROUP BY ?inDeg ORDER BY DESC(?inDeg)`,
+
+		"EQ10": `SELECT ?outDeg (COUNT(*) as ?cnt)
+			WHERE { SELECT ?n1 (COUNT(*) as ?outDeg)
+				WHERE { ?n1 (r:knows|r:follows) ?n2 }
+				GROUP BY ?n1 } GROUP BY ?outDeg ORDER BY DESC(?outDeg)`,
+
+		"EQ12": `SELECT (COUNT(*) AS ?cnt) WHERE { ?x r:follows ?y . ?y r:follows ?z . ?z r:follows ?x }`,
+	}
+	for i, q := range EQ11Queries("http://pg/n6160742") {
+		m["EQ11"+string(rune('a'+i))] = q
+	}
+	for name, q := range m {
+		m[name] = paperPrologue + q
+	}
+	return m
+}
+
+// EQ11Queries builds the five graph-traversal queries EQ11a–e (1..5 hop
+// path counting from a start node).
+func EQ11Queries(startNode string) [5]string {
+	var out [5]string
+	path := ""
+	for i := 0; i < 5; i++ {
+		if i > 0 {
+			path += "/"
+		}
+		path += "r:follows"
+		out[i] = `SELECT (COUNT(?y) as ?cnt) WHERE { <` + startNode + `> ` + path + ` ?y }`
+	}
+	return out
+}
+
+// Table3Queries returns the Q1–Q4 graph patterns of Table 3, keyed by
+// query id and PG-as-RDF model ("all", "RF", "NG", "SP").
+func Table3Queries() map[string]string {
+	m := map[string]string{
+		// Q1: triangles of "follows" edges (all models).
+		"Q1": `SELECT ?x ?y ?z WHERE { ?x rel:follows ?y . ?y rel:follows ?z . ?z rel:follows ?x }`,
+
+		// Q2: vertex pairs and all KVs of edges with "follows" label.
+		"Q2-RF": `SELECT ?x ?y ?k ?V WHERE { ?e rdf:subject ?x ; rdf:predicate rel:follows ; rdf:object ?y .
+			?e ?k ?V FILTER (isLiteral(?V)) }`,
+		"Q2-NG": `SELECT ?x ?y ?k ?V WHERE { GRAPH ?e { ?x rel:follows ?y . ?e ?k ?V FILTER (isLiteral(?V)) } }`,
+		"Q2-SP": `SELECT ?x ?y ?k ?V WHERE { ?x ?e ?y . ?e rdfs:subPropertyOf rel:follows . ?e ?k ?V FILTER (isLiteral(?V)) }`,
+
+		// Q3: all KVs of vertices matching name = "Amy" (all models).
+		"Q3": `SELECT ?x ?k ?V WHERE { ?x key:name "Amy" . ?x ?k ?V FILTER (isLiteral(?V)) }`,
+
+		// Q4: source and destination vertices of all edges (all models).
+		"Q4": `SELECT ?x ?y WHERE { ?x ?p ?y FILTER (isIRI(?y)) }`,
+	}
+	for name, q := range m {
+		m[name] = paperPrologue + q
+	}
+	return m
+}

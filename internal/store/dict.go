@@ -1,0 +1,102 @@
+// Package store implements an in-memory RDF quad store patterned after
+// Oracle Database's RDF Semantic Graph storage (§3 of the paper):
+//
+//   - a values table (dictionary) mapping lexical RDF terms to numeric IDs,
+//   - an ID-based quads table with columns S (subject), P (predicate),
+//     C (canonical object), G (named graph) and M (semantic model),
+//   - semantic-network indexes over any permutation of those columns
+//     (PCSGM, PSCGM, GSPCM, GPCSM, SPCGM, SCPGM, ...), served by
+//     binary-search range scans,
+//   - semantic models acting as partitions (the M column) and virtual
+//     models defined as unions of models.
+//
+// Queries are answered from the indexes alone; the "table" is only
+// scanned for full-scan plans, mirroring the paper's observation that
+// "SPARQL query processing in Oracle typically involves accessing only
+// the indexes".
+package store
+
+import (
+	"sync"
+
+	"repro/internal/rdf"
+)
+
+// ID is a numeric identifier assigned by the dictionary. 0 is reserved:
+// in the G column it denotes the default graph, and as a lookup result it
+// means "not present".
+type ID uint64
+
+// NoID is the zero ID: absent term / default graph.
+const NoID ID = 0
+
+// Any is the wildcard ID used in scan patterns.
+const Any ID = ^ID(0)
+
+// Dict is the values table: a bijection between RDF terms and dense
+// numeric IDs starting at 1. It is safe for concurrent use.
+type Dict struct {
+	mu     sync.RWMutex
+	byKey  map[string]ID
+	terms  []rdf.Term
+	lexLen int64 // total lexical bytes, for storage accounting
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{byKey: make(map[string]ID)}
+}
+
+// Intern returns the ID for t, assigning a fresh one on first sight.
+func (d *Dict) Intern(t rdf.Term) ID {
+	key := t.String()
+	d.mu.RLock()
+	id, ok := d.byKey[key]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok = d.byKey[key]; ok {
+		return id
+	}
+	d.terms = append(d.terms, t)
+	id = ID(len(d.terms))
+	d.byKey[key] = id
+	d.lexLen += int64(len(key))
+	return id
+}
+
+// Lookup returns the ID for t, or NoID if the term has never been seen.
+func (d *Dict) Lookup(t rdf.Term) ID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.byKey[t.String()]
+}
+
+// Term returns the term for a valid ID. It panics on NoID or an ID never
+// issued, which always indicates a bug in the caller.
+func (d *Dict) Term(id ID) rdf.Term {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id == NoID || int(id) > len(d.terms) {
+		panic("store: Term called with invalid ID")
+	}
+	return d.terms[id-1]
+}
+
+// Len returns the number of distinct terms interned.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.terms)
+}
+
+// LexicalBytes returns the total lexical length of all interned terms,
+// the dominant component of the values-table size in Table 9.
+func (d *Dict) LexicalBytes() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.lexLen
+}

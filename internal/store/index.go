@@ -1,0 +1,315 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Col identifies a quad-table column.
+type Col uint8
+
+// The five columns of the quads table.
+const (
+	ColS Col = iota // subject
+	ColP            // predicate
+	ColC            // canonical object
+	ColG            // named graph
+	ColM            // semantic model
+	numCols
+)
+
+func (c Col) String() string {
+	return string("SPCGM"[c])
+}
+
+// IDQuad is a row of the ID-based quads table.
+type IDQuad struct {
+	S, P, C, G, M ID
+}
+
+// Get returns the value in column c.
+func (q IDQuad) Get(c Col) ID {
+	switch c {
+	case ColS:
+		return q.S
+	case ColP:
+		return q.P
+	case ColC:
+		return q.C
+	case ColG:
+		return q.G
+	default:
+		return q.M
+	}
+}
+
+// Pattern is a scan pattern: a value per column, where Any matches
+// everything. Note G==NoID matches only default-graph quads; to match any
+// graph use Any.
+type Pattern struct {
+	S, P, C, G, M ID
+}
+
+// AnyPattern returns a pattern matching every quad.
+func AnyPattern() Pattern { return Pattern{S: Any, P: Any, C: Any, G: Any, M: Any} }
+
+// Get returns the pattern value for column c.
+func (p Pattern) Get(c Col) ID {
+	switch c {
+	case ColS:
+		return p.S
+	case ColP:
+		return p.P
+	case ColC:
+		return p.C
+	case ColG:
+		return p.G
+	default:
+		return p.M
+	}
+}
+
+// Matches reports whether the quad satisfies the pattern.
+func (p Pattern) Matches(q IDQuad) bool {
+	return (p.S == Any || p.S == q.S) &&
+		(p.P == Any || p.P == q.P) &&
+		(p.C == Any || p.C == q.C) &&
+		(p.G == Any || p.G == q.G) &&
+		(p.M == Any || p.M == q.M)
+}
+
+// BoundCols returns the set of bound (non-wildcard) columns.
+func (p Pattern) BoundCols() []Col {
+	var cols []Col
+	for c := ColS; c < numCols; c++ {
+		if p.Get(c) != Any {
+			cols = append(cols, c)
+		}
+	}
+	return cols
+}
+
+// Permutation is an ordered list of columns forming an index key, e.g.
+// "PCSGM". A valid permutation uses each of S, P, C, G, M exactly once.
+type Permutation [numCols]Col
+
+// ParsePermutation parses a key spec such as "PCSGM".
+func ParsePermutation(s string) (Permutation, error) {
+	var p Permutation
+	if len(s) != int(numCols) {
+		return p, fmt.Errorf("store: index key %q must use each of S,P,C,G,M exactly once", s)
+	}
+	var seen [numCols]bool
+	for i := 0; i < len(s); i++ {
+		idx := strings.IndexByte("SPCGM", s[i])
+		if idx < 0 || seen[idx] {
+			return p, fmt.Errorf("store: index key %q must use each of S,P,C,G,M exactly once", s)
+		}
+		seen[idx] = true
+		p[i] = Col(idx)
+	}
+	return p, nil
+}
+
+// String renders the permutation as its key spec.
+func (p Permutation) String() string {
+	b := make([]byte, numCols)
+	for i, c := range p {
+		b[i] = "SPCGM"[c]
+	}
+	return string(b)
+}
+
+// Index is a semantic-network index: the full quads table sorted by a key
+// permutation, scanned with binary search on the bound key prefix.
+type Index struct {
+	perm Permutation
+	rows []IDQuad
+
+	// Usage statistics, exposed for plan verification (Table 5).
+	// Updated atomically: scans run under the store's read lock, so
+	// many readers may bump them concurrently.
+	rangeScans atomic.Int64
+	fullScans  atomic.Int64
+}
+
+// NewIndex creates an empty index with the given key permutation.
+func NewIndex(perm Permutation) *Index {
+	return &Index{perm: perm}
+}
+
+// Perm returns the index key permutation.
+func (ix *Index) Perm() Permutation { return ix.perm }
+
+// Len returns the number of rows in the index.
+func (ix *Index) Len() int { return len(ix.rows) }
+
+func (ix *Index) less(a, b IDQuad) bool {
+	for _, c := range ix.perm {
+		av, bv := a.Get(c), b.Get(c)
+		if av != bv {
+			return av < bv
+		}
+	}
+	return false
+}
+
+// Build replaces the index contents with rows, sorting by the key. The
+// slice is not retained by the caller afterwards.
+func (ix *Index) Build(rows []IDQuad) {
+	ix.rows = rows
+	sort.Slice(ix.rows, func(i, j int) bool { return ix.less(ix.rows[i], ix.rows[j]) })
+}
+
+// prefixLen returns how many leading key columns of the pattern are bound.
+func (ix *Index) prefixLen(p Pattern) int {
+	n := 0
+	for _, c := range ix.perm {
+		if p.Get(c) == Any {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// rangeOf returns the half-open row range whose first n key columns equal
+// the pattern's values.
+func (ix *Index) rangeOf(p Pattern, n int) (lo, hi int) {
+	lo = sort.Search(len(ix.rows), func(i int) bool {
+		return !ix.lessPrefix(ix.rows[i], p, n)
+	})
+	hi = sort.Search(len(ix.rows), func(i int) bool {
+		return ix.greaterPrefix(ix.rows[i], p, n)
+	})
+	return lo, hi
+}
+
+func (ix *Index) lessPrefix(q IDQuad, p Pattern, n int) bool {
+	for i := 0; i < n; i++ {
+		c := ix.perm[i]
+		qv, pv := q.Get(c), p.Get(c)
+		if qv != pv {
+			return qv < pv
+		}
+	}
+	return false
+}
+
+func (ix *Index) greaterPrefix(q IDQuad, p Pattern, n int) bool {
+	for i := 0; i < n; i++ {
+		c := ix.perm[i]
+		qv, pv := q.Get(c), p.Get(c)
+		if qv != pv {
+			return qv > pv
+		}
+	}
+	return false
+}
+
+// Scan calls fn for every quad matching the pattern, in key order. It
+// uses an index range scan when a key prefix is bound and a full index
+// scan otherwise (the two access paths of §3.2). Iteration stops early if
+// fn returns false.
+func (ix *Index) Scan(p Pattern, fn func(IDQuad) bool) {
+	n := ix.prefixLen(p)
+	lo, hi := 0, len(ix.rows)
+	if n > 0 {
+		lo, hi = ix.rangeOf(p, n)
+		ix.rangeScans.Add(1)
+	} else {
+		ix.fullScans.Add(1)
+	}
+	for i := lo; i < hi; i++ {
+		if p.Matches(ix.rows[i]) && !fn(ix.rows[i]) {
+			return
+		}
+	}
+}
+
+// EstimateCount returns the number of rows in the range addressed by the
+// bound key prefix of p — an upper bound on the matching rows, computed
+// in O(log n). Used by the query optimizer for selectivity estimates.
+func (ix *Index) EstimateCount(p Pattern) int {
+	n := ix.prefixLen(p)
+	if n == 0 {
+		return len(ix.rows)
+	}
+	lo, hi := ix.rangeOf(p, n)
+	return hi - lo
+}
+
+// Contains reports whether the exact quad is present. It does not count
+// as a scan in the usage statistics (it is the store's internal
+// uniqueness check, not a query access path).
+func (ix *Index) Contains(q IDQuad) bool {
+	p := Pattern{S: q.S, P: q.P, C: q.C, G: q.G, M: q.M}
+	lo, hi := ix.rangeOf(p, int(numCols))
+	return hi > lo
+}
+
+// insertSorted inserts q preserving order (used by compaction).
+func (ix *Index) insertSorted(qs []IDQuad) {
+	if len(qs) == 0 {
+		return
+	}
+	sort.Slice(qs, func(i, j int) bool { return ix.less(qs[i], qs[j]) })
+	merged := make([]IDQuad, 0, len(ix.rows)+len(qs))
+	i, j := 0, 0
+	for i < len(ix.rows) && j < len(qs) {
+		if ix.less(qs[j], ix.rows[i]) {
+			merged = append(merged, qs[j])
+			j++
+		} else {
+			merged = append(merged, ix.rows[i])
+			i++
+		}
+	}
+	merged = append(merged, ix.rows[i:]...)
+	merged = append(merged, qs[j:]...)
+	ix.rows = merged
+}
+
+// remove deletes all quads in the set from the index.
+func (ix *Index) remove(del map[IDQuad]struct{}) {
+	if len(del) == 0 {
+		return
+	}
+	out := ix.rows[:0]
+	for _, q := range ix.rows {
+		if _, gone := del[q]; !gone {
+			out = append(out, q)
+		}
+	}
+	ix.rows = out
+}
+
+// keyCompressedCells estimates the number of stored key cells under
+// prefix compression: consecutive rows share the cells of their common
+// key prefix, modeling Oracle's index key compression. Used for Table 9
+// storage accounting (it is why, e.g., GPSCM on NG data compresses worse
+// than PCSGM: G is nearly unique per row).
+func (ix *Index) keyCompressedCells() int64 {
+	var cells int64
+	var prev IDQuad
+	for i, q := range ix.rows {
+		if i == 0 {
+			cells += int64(numCols)
+			prev = q
+			continue
+		}
+		shared := 0
+		for _, c := range ix.perm {
+			if q.Get(c) == prev.Get(c) {
+				shared++
+			} else {
+				break
+			}
+		}
+		cells += int64(int(numCols) - shared)
+		prev = q
+	}
+	return cells
+}

@@ -1,0 +1,176 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/ntriples"
+	"repro/internal/rdf"
+)
+
+// Snapshot serialization: the store's contents as sectioned N-Quads,
+// with directive comments carrying the parts N-Quads cannot express —
+// model boundaries, virtual model definitions and the index
+// configuration:
+//
+//	# pgrdf-snapshot v1
+//	# indexes PCSGM,PSCGM
+//	# virtual all = topo,kv
+//	# model topo
+//	<s> <p> <o> <g> .
+//	# model kv
+//	...
+//
+// The format stays a valid N-Quads document (comments are ignored by
+// plain N-Quads parsers), so snapshots double as ordinary exports.
+
+const snapshotHeader = "# pgrdf-snapshot v1"
+
+// Snapshot writes the whole store (all models, virtual model
+// definitions and index configuration) to w.
+func (s *Store) Snapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, snapshotHeader); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "# indexes %s\n", strings.Join(s.Indexes(), ",")); err != nil {
+		return err
+	}
+
+	s.mu.RLock()
+	type vdef struct {
+		name    string
+		members []string
+	}
+	var vdefs []vdef
+	for name, ids := range s.virtual {
+		var members []string
+		for _, id := range ids {
+			members = append(members, s.modelNames[id-1])
+		}
+		vdefs = append(vdefs, vdef{name: name, members: members})
+	}
+	s.mu.RUnlock()
+	for _, v := range vdefs {
+		if _, err := fmt.Fprintf(bw, "# virtual %s = %s\n", v.name, strings.Join(v.members, ",")); err != nil {
+			return err
+		}
+	}
+
+	for _, model := range s.Models() {
+		if _, err := fmt.Fprintf(bw, "# model %s\n", model); err != nil {
+			return err
+		}
+		quads, err := s.Export(model)
+		if err != nil {
+			return err
+		}
+		nw := ntriples.NewWriter(bw)
+		for _, q := range quads {
+			if err := nw.Write(q); err != nil {
+				return err
+			}
+		}
+		if err := nw.Flush(); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Restore rebuilds a store from a snapshot. Index configuration and
+// virtual models are restored from the directives; a plain N-Quads file
+// (no directives) restores into a single model named "data" with the
+// default indexes.
+func Restore(r io.Reader) (*Store, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+
+	var st *Store
+	indexes := DefaultIndexes
+	type vdef struct {
+		name    string
+		members []string
+	}
+	var virtuals []vdef
+	model := "data"
+	var pending []rdf.Quad
+	line := 0
+
+	flush := func() error {
+		if st == nil {
+			var err error
+			st, err = NewWithIndexes(indexes)
+			if err != nil {
+				return err
+			}
+		}
+		if len(pending) > 0 {
+			if _, err := st.Load(model, pending); err != nil {
+				return err
+			}
+			pending = pending[:0]
+		}
+		return nil
+	}
+
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		switch {
+		case text == "" || text == snapshotHeader:
+			continue
+		case strings.HasPrefix(text, "# indexes "):
+			if st != nil {
+				return nil, fmt.Errorf("store: line %d: indexes directive after data", line)
+			}
+			indexes = strings.Split(strings.TrimPrefix(text, "# indexes "), ",")
+		case strings.HasPrefix(text, "# virtual "):
+			spec := strings.TrimPrefix(text, "# virtual ")
+			name, members, ok := strings.Cut(spec, " = ")
+			if !ok {
+				return nil, fmt.Errorf("store: line %d: malformed virtual directive", line)
+			}
+			virtuals = append(virtuals, vdef{name: name, members: strings.Split(members, ",")})
+		case strings.HasPrefix(text, "# model "):
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			model = strings.TrimPrefix(text, "# model ")
+			// Register even if the model ends up empty.
+			st.Model(model)
+		case strings.HasPrefix(text, "#"):
+			continue // ordinary comment
+		default:
+			quads, err := ntriples.NewReader(strings.NewReader(text)).ReadAll()
+			if err != nil {
+				return nil, fmt.Errorf("store: line %d: %w", line, err)
+			}
+			if st == nil {
+				if err := flush(); err != nil {
+					return nil, err
+				}
+			}
+			pending = append(pending, quads...)
+			if len(pending) >= 65536 {
+				if err := flush(); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	for _, v := range virtuals {
+		if err := st.CreateVirtualModel(v.name, v.members...); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}

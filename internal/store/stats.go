@@ -1,0 +1,94 @@
+package store
+
+import "sort"
+
+// DatasetStats summarizes a set of models the way Table 8 of the paper
+// does: distinct subjects, predicates, objects and named graphs, plus the
+// quad count.
+type DatasetStats struct {
+	Quads       int
+	Subjects    int
+	Predicates  int
+	Objects     int
+	NamedGraphs int
+}
+
+// Stats computes DatasetStats over the union of the given models (all
+// models when none are given).
+func (s *Store) Stats(models ...string) (DatasetStats, error) {
+	var ids []ModelID
+	if len(models) == 0 {
+		var err error
+		ids, err = s.ResolveDataset("")
+		if err != nil {
+			return DatasetStats{}, err
+		}
+	} else {
+		for _, m := range models {
+			sub, err := s.ResolveDataset(m)
+			if err != nil {
+				return DatasetStats{}, err
+			}
+			ids = append(ids, sub...)
+		}
+	}
+	subs := make(map[ID]struct{})
+	preds := make(map[ID]struct{})
+	objs := make(map[ID]struct{})
+	graphs := make(map[ID]struct{})
+	var st DatasetStats
+	for _, m := range ids {
+		p := AnyPattern()
+		p.M = m
+		s.Scan(p, func(q IDQuad) bool {
+			st.Quads++
+			subs[q.S] = struct{}{}
+			preds[q.P] = struct{}{}
+			objs[q.C] = struct{}{}
+			if q.G != NoID {
+				graphs[q.G] = struct{}{}
+			}
+			return true
+		})
+	}
+	st.Subjects = len(subs)
+	st.Predicates = len(preds)
+	st.Objects = len(objs)
+	st.NamedGraphs = len(graphs)
+	return st, nil
+}
+
+// IndexStats reports per-index scan counters, keyed by index spec.
+type IndexStats struct {
+	Spec       string
+	Rows       int
+	RangeScans int64
+	FullScans  int64
+}
+
+// IndexStatsSnapshot returns the current per-index counters.
+func (s *Store) IndexStatsSnapshot() []IndexStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]IndexStats, 0, len(s.indexes))
+	for _, ix := range s.indexes {
+		out = append(out, IndexStats{
+			Spec:       ix.perm.String(),
+			Rows:       ix.Len(),
+			RangeScans: ix.rangeScans.Load(),
+			FullScans:  ix.fullScans.Load(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Spec < out[j].Spec })
+	return out
+}
+
+// ResetIndexStats zeroes the per-index scan counters.
+func (s *Store) ResetIndexStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ix := range s.indexes {
+		ix.rangeScans.Store(0)
+		ix.fullScans.Store(0)
+	}
+}

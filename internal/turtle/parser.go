@@ -1,0 +1,643 @@
+// Package turtle implements a parser for the W3C Turtle RDF syntax —
+// the human-oriented serialization format RDF stores accept alongside
+// N-Triples/N-Quads. Supported subset: @prefix/@base (and the SPARQL
+// PREFIX/BASE spellings), prefixed names, 'a', predicate and object
+// lists (';' and ','), anonymous blank nodes with property lists
+// ([ ... ]), literals with datatypes, language tags and the numeric /
+// boolean shortcuts, and long (triple-quoted) strings. RDF collections
+// are parsed into the standard rdf:first/rdf:rest list encoding.
+package turtle
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"repro/internal/rdf"
+)
+
+// Parse reads a complete Turtle document and returns its triples.
+func Parse(r io.Reader) ([]rdf.Triple, error) {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: string(src), line: 1, prefixes: rdf.PrefixMap{}}
+	return p.document()
+}
+
+// ParseString parses a Turtle document from a string.
+func ParseString(src string) ([]rdf.Triple, error) {
+	return Parse(strings.NewReader(src))
+}
+
+type parser struct {
+	src      string
+	pos      int
+	line     int
+	prefixes rdf.PrefixMap
+	base     string
+	blankSeq int
+	triples  []rdf.Triple
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("turtle: line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) document() ([]rdf.Triple, error) {
+	for {
+		p.skipWS()
+		if p.pos >= len(p.src) {
+			return p.triples, nil
+		}
+		if err := p.statement(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) statement() error {
+	switch {
+	case p.hasKeyword("@prefix"), p.hasKeywordCI("PREFIX"):
+		return p.prefixDirective()
+	case p.hasKeyword("@base"), p.hasKeywordCI("BASE"):
+		return p.baseDirective()
+	default:
+		return p.triplesStatement()
+	}
+}
+
+// hasKeyword consumes a case-sensitive keyword if present.
+func (p *parser) hasKeyword(kw string) bool {
+	if strings.HasPrefix(p.src[p.pos:], kw) {
+		p.pos += len(kw)
+		return true
+	}
+	return false
+}
+
+// hasKeywordCI consumes a case-insensitive keyword followed by
+// whitespace (distinguishing the SPARQL-style PREFIX from a prefixed
+// name like PREFIX:x).
+func (p *parser) hasKeywordCI(kw string) bool {
+	end := p.pos + len(kw)
+	if end >= len(p.src) {
+		return false
+	}
+	if !strings.EqualFold(p.src[p.pos:end], kw) {
+		return false
+	}
+	if c := p.src[end]; c != ' ' && c != '\t' && c != '\n' && c != '\r' && c != '<' {
+		return false
+	}
+	p.pos = end
+	return true
+}
+
+func (p *parser) prefixDirective() error {
+	p.skipWS()
+	label, err := p.prefixLabel()
+	if err != nil {
+		return err
+	}
+	p.skipWS()
+	iri, err := p.iriRef()
+	if err != nil {
+		return err
+	}
+	p.prefixes[label] = iri
+	p.skipWS()
+	p.consume('.') // @prefix requires it; SPARQL PREFIX omits it — accept both
+	return nil
+}
+
+func (p *parser) baseDirective() error {
+	p.skipWS()
+	iri, err := p.iriRef()
+	if err != nil {
+		return err
+	}
+	p.base = iri
+	p.skipWS()
+	p.consume('.')
+	return nil
+}
+
+// prefixLabel reads "label:" (label may be empty).
+func (p *parser) prefixLabel() (string, error) {
+	start := p.pos
+	for p.pos < len(p.src) && isNameChar(rune(p.src[p.pos])) {
+		p.pos++
+	}
+	label := p.src[start:p.pos]
+	if !p.consume(':') {
+		return "", p.errf("expected ':' after prefix label %q", label)
+	}
+	return label, nil
+}
+
+func (p *parser) triplesStatement() error {
+	subj, err := p.subject()
+	if err != nil {
+		return err
+	}
+	if err := p.predicateObjectList(subj); err != nil {
+		return err
+	}
+	p.skipWS()
+	if !p.consume('.') {
+		return p.errf("expected '.' at end of statement")
+	}
+	return nil
+}
+
+func (p *parser) predicateObjectList(subj rdf.Term) error {
+	for {
+		p.skipWS()
+		pred, err := p.verb()
+		if err != nil {
+			return err
+		}
+		for {
+			p.skipWS()
+			obj, err := p.object()
+			if err != nil {
+				return err
+			}
+			p.emit(subj, pred, obj)
+			p.skipWS()
+			if !p.consume(',') {
+				break
+			}
+		}
+		p.skipWS()
+		if !p.consume(';') {
+			return nil
+		}
+		// Allow trailing ';' before '.' / ']' .
+		p.skipWS()
+		if p.pos < len(p.src) && (p.src[p.pos] == '.' || p.src[p.pos] == ']') {
+			return nil
+		}
+	}
+}
+
+func (p *parser) emit(s, pr, o rdf.Term) {
+	p.triples = append(p.triples, rdf.NewTriple(s, pr, o))
+}
+
+func (p *parser) verb() (rdf.Term, error) {
+	if p.pos < len(p.src) && p.src[p.pos] == 'a' {
+		// 'a' only when followed by whitespace or '<' etc.
+		if p.pos+1 < len(p.src) {
+			c := p.src[p.pos+1]
+			if c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '<' || c == '[' {
+				p.pos++
+				return rdf.NewIRI(rdf.RDFType), nil
+			}
+		}
+	}
+	t, err := p.iriTerm()
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	return t, nil
+}
+
+func (p *parser) subject() (rdf.Term, error) {
+	p.skipWS()
+	if p.pos >= len(p.src) {
+		return rdf.Term{}, p.errf("unexpected end of input, expected a subject")
+	}
+	switch p.src[p.pos] {
+	case '[':
+		return p.blankNodePropertyList()
+	case '(':
+		return p.collection()
+	case '_':
+		return p.blankNode()
+	default:
+		return p.iriTerm()
+	}
+}
+
+func (p *parser) object() (rdf.Term, error) {
+	if p.pos >= len(p.src) {
+		return rdf.Term{}, p.errf("unexpected end of input, expected an object")
+	}
+	c := p.src[p.pos]
+	switch {
+	case c == '[':
+		return p.blankNodePropertyList()
+	case c == '(':
+		return p.collection()
+	case c == '_':
+		return p.blankNode()
+	case c == '"' || c == '\'':
+		return p.literal()
+	case c == '+' || c == '-' || c >= '0' && c <= '9':
+		return p.numericLiteral()
+	case strings.HasPrefix(p.src[p.pos:], "true") && p.atWordBoundary(4):
+		p.pos += 4
+		return rdf.NewBoolean(true), nil
+	case strings.HasPrefix(p.src[p.pos:], "false") && p.atWordBoundary(5):
+		p.pos += 5
+		return rdf.NewBoolean(false), nil
+	default:
+		return p.iriTerm()
+	}
+}
+
+func (p *parser) atWordBoundary(offset int) bool {
+	i := p.pos + offset
+	if i >= len(p.src) {
+		return true
+	}
+	r, _ := utf8.DecodeRuneInString(p.src[i:])
+	return !isNameChar(r)
+}
+
+// blankNodePropertyList parses [ predicateObjectList? ], returning a
+// fresh blank node.
+func (p *parser) blankNodePropertyList() (rdf.Term, error) {
+	p.pos++ // '['
+	p.blankSeq++
+	node := rdf.NewBlank(fmt.Sprintf("anon%d", p.blankSeq))
+	p.skipWS()
+	if p.consume(']') {
+		return node, nil
+	}
+	if err := p.predicateObjectList(node); err != nil {
+		return rdf.Term{}, err
+	}
+	p.skipWS()
+	if !p.consume(']') {
+		return rdf.Term{}, p.errf("expected ']'")
+	}
+	return node, nil
+}
+
+// collection parses ( object* ) into rdf:first/rdf:rest structure.
+func (p *parser) collection() (rdf.Term, error) {
+	p.pos++ // '('
+	first := rdf.NewIRI(rdf.RDFNS + "first")
+	rest := rdf.NewIRI(rdf.RDFNS + "rest")
+	nilT := rdf.NewIRI(rdf.RDFNS + "nil")
+	var items []rdf.Term
+	for {
+		p.skipWS()
+		if p.consume(')') {
+			break
+		}
+		if p.pos >= len(p.src) {
+			return rdf.Term{}, p.errf("unterminated collection")
+		}
+		item, err := p.object()
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		items = append(items, item)
+	}
+	if len(items) == 0 {
+		return nilT, nil
+	}
+	head := rdf.Term{}
+	var prev rdf.Term
+	for i, item := range items {
+		p.blankSeq++
+		cell := rdf.NewBlank(fmt.Sprintf("list%d", p.blankSeq))
+		if i == 0 {
+			head = cell
+		} else {
+			p.emit(prev, rest, cell)
+		}
+		p.emit(cell, first, item)
+		prev = cell
+	}
+	p.emit(prev, rest, nilT)
+	return head, nil
+}
+
+func (p *parser) blankNode() (rdf.Term, error) {
+	if p.pos+1 >= len(p.src) || p.src[p.pos+1] != ':' {
+		return rdf.Term{}, p.errf("expected '_:'")
+	}
+	p.pos += 2
+	start := p.pos
+	for p.pos < len(p.src) && isNameChar(rune(p.src[p.pos])) {
+		p.pos++
+	}
+	if p.pos == start {
+		return rdf.Term{}, p.errf("empty blank node label")
+	}
+	return rdf.NewBlank(p.src[start:p.pos]), nil
+}
+
+// iriTerm parses <iri> or prefixed:name.
+func (p *parser) iriTerm() (rdf.Term, error) {
+	if p.pos < len(p.src) && p.src[p.pos] == '<' {
+		iri, err := p.iriRef()
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewIRI(iri), nil
+	}
+	// Prefixed name.
+	start := p.pos
+	for p.pos < len(p.src) && isNameChar(rune(p.src[p.pos])) {
+		p.pos++
+	}
+	label := p.src[start:p.pos]
+	if !p.consume(':') {
+		return rdf.Term{}, p.errf("expected an IRI or prefixed name near %q", snippet(p.src[start:]))
+	}
+	ns, ok := p.prefixes[label]
+	if !ok {
+		return rdf.Term{}, p.errf("unknown prefix %q", label)
+	}
+	lstart := p.pos
+	for p.pos < len(p.src) {
+		r, size := utf8.DecodeRuneInString(p.src[p.pos:])
+		if !isLocalChar(r) {
+			break
+		}
+		p.pos += size
+	}
+	local := p.src[lstart:p.pos]
+	for strings.HasSuffix(local, ".") {
+		local = local[:len(local)-1]
+		p.pos--
+	}
+	return rdf.NewIRI(ns + local), nil
+}
+
+func (p *parser) iriRef() (string, error) {
+	if p.pos >= len(p.src) || p.src[p.pos] != '<' {
+		return "", p.errf("expected '<'")
+	}
+	p.pos++
+	end := strings.IndexByte(p.src[p.pos:], '>')
+	if end < 0 {
+		return "", p.errf("unterminated IRI")
+	}
+	iri := p.src[p.pos : p.pos+end]
+	p.pos += end + 1
+	if strings.ContainsAny(iri, " \t\n\"{}|^`") {
+		return "", p.errf("IRI %q contains a forbidden character", iri)
+	}
+	return p.resolve(iri), nil
+}
+
+// resolve applies the base IRI to relative references (simple
+// concatenation-style resolution, sufficient for same-document bases).
+func (p *parser) resolve(iri string) string {
+	if p.base == "" || strings.Contains(iri, "://") || strings.HasPrefix(iri, "urn:") {
+		return iri
+	}
+	if strings.HasPrefix(iri, "#") {
+		return strings.TrimSuffix(p.base, "#") + iri
+	}
+	base := p.base
+	if i := strings.LastIndexByte(base, '/'); i > len("https://") {
+		base = base[:i+1]
+	}
+	return base + iri
+}
+
+func (p *parser) literal() (rdf.Term, error) {
+	lex, err := p.quotedString()
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	// Language tag or datatype?
+	if p.pos < len(p.src) && p.src[p.pos] == '@' {
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && (isAlnum(p.src[p.pos]) || p.src[p.pos] == '-') {
+			p.pos++
+		}
+		if p.pos == start {
+			return rdf.Term{}, p.errf("empty language tag")
+		}
+		return rdf.NewLangLiteral(lex, p.src[start:p.pos]), nil
+	}
+	if strings.HasPrefix(p.src[p.pos:], "^^") {
+		p.pos += 2
+		dt, err := p.iriTerm()
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewTypedLiteral(lex, dt.Value), nil
+	}
+	return rdf.NewLiteral(lex), nil
+}
+
+// quotedString parses "..." / '...' / """...""" / ”'...”'.
+func (p *parser) quotedString() (string, error) {
+	quote := p.src[p.pos]
+	long := strings.HasPrefix(p.src[p.pos:], strings.Repeat(string(quote), 3))
+	if long {
+		p.pos += 3
+		end := strings.Index(p.src[p.pos:], strings.Repeat(string(quote), 3))
+		if end < 0 {
+			return "", p.errf("unterminated long string")
+		}
+		raw := p.src[p.pos : p.pos+end]
+		p.line += strings.Count(raw, "\n")
+		p.pos += end + 3
+		return unescape(raw, p)
+	}
+	p.pos++
+	var b strings.Builder
+	for {
+		if p.pos >= len(p.src) {
+			return "", p.errf("unterminated string")
+		}
+		c := p.src[p.pos]
+		if c == quote {
+			p.pos++
+			return b.String(), nil
+		}
+		if c == '\n' {
+			return "", p.errf("newline in short string literal")
+		}
+		if c == '\\' {
+			s, err := p.escape()
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(s)
+			continue
+		}
+		b.WriteByte(c)
+		p.pos++
+	}
+}
+
+func (p *parser) escape() (string, error) {
+	if p.pos+1 >= len(p.src) {
+		return "", p.errf("dangling escape")
+	}
+	e := p.src[p.pos+1]
+	p.pos += 2
+	switch e {
+	case 't':
+		return "\t", nil
+	case 'n':
+		return "\n", nil
+	case 'r':
+		return "\r", nil
+	case 'b':
+		return "\b", nil
+	case 'f':
+		return "\f", nil
+	case '"':
+		return `"`, nil
+	case '\'':
+		return "'", nil
+	case '\\':
+		return `\`, nil
+	case 'u', 'U':
+		n := 4
+		if e == 'U' {
+			n = 8
+		}
+		if p.pos+n > len(p.src) {
+			return "", p.errf("truncated \\%c escape", e)
+		}
+		var v rune
+		for i := 0; i < n; i++ {
+			c := p.src[p.pos+i]
+			var d rune
+			switch {
+			case c >= '0' && c <= '9':
+				d = rune(c - '0')
+			case c >= 'a' && c <= 'f':
+				d = rune(c-'a') + 10
+			case c >= 'A' && c <= 'F':
+				d = rune(c-'A') + 10
+			default:
+				return "", p.errf("non-hex digit in \\%c escape", e)
+			}
+			v = v<<4 | d
+		}
+		p.pos += n
+		if !utf8.ValidRune(v) {
+			return "", p.errf("invalid code point U+%X", v)
+		}
+		return string(v), nil
+	default:
+		return "", p.errf("unknown escape \\%c", e)
+	}
+}
+
+// unescape handles escapes inside long strings.
+func unescape(raw string, p *parser) (string, error) {
+	if !strings.Contains(raw, "\\") {
+		return raw, nil
+	}
+	sub := &parser{src: raw, line: p.line}
+	var b strings.Builder
+	for sub.pos < len(sub.src) {
+		if sub.src[sub.pos] == '\\' {
+			s, err := sub.escape()
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(s)
+			continue
+		}
+		b.WriteByte(sub.src[sub.pos])
+		sub.pos++
+	}
+	return b.String(), nil
+}
+
+func (p *parser) numericLiteral() (rdf.Term, error) {
+	start := p.pos
+	if c := p.src[p.pos]; c == '+' || c == '-' {
+		p.pos++
+	}
+	digits := 0
+	for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		p.pos++
+		digits++
+	}
+	dt := rdf.XSDInteger
+	if p.pos < len(p.src) && p.src[p.pos] == '.' && p.pos+1 < len(p.src) && p.src[p.pos+1] >= '0' && p.src[p.pos+1] <= '9' {
+		dt = rdf.XSDDecimal
+		p.pos++
+		for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			p.pos++
+			digits++
+		}
+	}
+	if p.pos < len(p.src) && (p.src[p.pos] == 'e' || p.src[p.pos] == 'E') {
+		dt = rdf.XSDDouble
+		p.pos++
+		if p.pos < len(p.src) && (p.src[p.pos] == '+' || p.src[p.pos] == '-') {
+			p.pos++
+		}
+		expDigits := 0
+		for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			p.pos++
+			expDigits++
+		}
+		if expDigits == 0 {
+			return rdf.Term{}, p.errf("malformed double literal")
+		}
+	}
+	if digits == 0 {
+		return rdf.Term{}, p.errf("malformed numeric literal")
+	}
+	return rdf.NewTypedLiteral(p.src[start:p.pos], dt), nil
+}
+
+func (p *parser) consume(c byte) bool {
+	if p.pos < len(p.src) && p.src[p.pos] == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) skipWS() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch {
+		case c == '\n':
+			p.line++
+			p.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			p.pos++
+		case c == '#':
+			for p.pos < len(p.src) && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isNameChar(r rune) bool {
+	return r == '_' || r == '-' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func isLocalChar(r rune) bool {
+	return isNameChar(r) || r == '.' || r == '%'
+}
+
+func isAlnum(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+func snippet(s string) string {
+	if len(s) > 20 {
+		return s[:20] + "..."
+	}
+	return s
+}

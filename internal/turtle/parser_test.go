@@ -1,0 +1,266 @@
+package turtle
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func mustParse(t *testing.T, src string) []rdf.Triple {
+	t.Helper()
+	triples, err := ParseString(src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	return triples
+}
+
+func tripleSet(triples []rdf.Triple) map[string]bool {
+	m := make(map[string]bool, len(triples))
+	for _, tr := range triples {
+		m[tr.String()] = true
+	}
+	return m
+}
+
+func TestBasicTriples(t *testing.T) {
+	triples := mustParse(t, `
+		@prefix rel: <http://pg/r/> .
+		@prefix pg: <http://pg/> .
+		pg:v1 rel:follows pg:v2 .
+		<http://pg/v2> <http://pg/r/knows> <http://pg/v1> .
+	`)
+	if len(triples) != 2 {
+		t.Fatalf("triples = %d", len(triples))
+	}
+	set := tripleSet(triples)
+	if !set["<http://pg/v1> <http://pg/r/follows> <http://pg/v2>"] {
+		t.Errorf("prefixed triple missing: %v", triples)
+	}
+}
+
+func TestSPARQLStylePrefix(t *testing.T) {
+	triples := mustParse(t, `
+		PREFIX rel: <http://pg/r/>
+		<http://pg/v1> rel:follows <http://pg/v2> .
+	`)
+	if len(triples) != 1 || triples[0].P.Value != "http://pg/r/follows" {
+		t.Fatalf("triples = %v", triples)
+	}
+}
+
+func TestPredicateAndObjectLists(t *testing.T) {
+	triples := mustParse(t, `
+		@prefix k: <http://pg/k/> .
+		<http://pg/v1> k:name "Amy" ;
+		               k:tag "#a" , "#b" ;
+		               a <http://pg/Person> .
+	`)
+	if len(triples) != 4 {
+		t.Fatalf("triples = %d: %v", len(triples), triples)
+	}
+	set := tripleSet(triples)
+	for _, want := range []string{
+		`<http://pg/v1> <http://pg/k/name> "Amy"`,
+		`<http://pg/v1> <http://pg/k/tag> "#a"`,
+		`<http://pg/v1> <http://pg/k/tag> "#b"`,
+		`<http://pg/v1> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://pg/Person>`,
+	} {
+		if !set[want] {
+			t.Errorf("missing %s", want)
+		}
+	}
+}
+
+func TestLiteralForms(t *testing.T) {
+	triples := mustParse(t, `
+		@prefix k: <http://pg/k/> .
+		@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+		<http://s> k:a "plain" ;
+			k:b "typed"^^xsd:token ;
+			k:c "tagged"@en-US ;
+			k:d 42 ;
+			k:e -3.14 ;
+			k:f 1.0e6 ;
+			k:g true ;
+			k:h false ;
+			k:i 'single' ;
+			k:j """long
+line"""  ;
+			k:k "esc\t\"x\"é" .
+	`)
+	byKey := map[string]rdf.Term{}
+	for _, tr := range triples {
+		byKey[tr.P.Value[len("http://pg/k/"):]] = tr.O
+	}
+	checks := map[string]rdf.Term{
+		"a": rdf.NewLiteral("plain"),
+		"b": rdf.NewTypedLiteral("typed", rdf.XSDNS+"token"),
+		"c": rdf.NewLangLiteral("tagged", "en-us"),
+		"d": rdf.NewTypedLiteral("42", rdf.XSDInteger),
+		"e": rdf.NewTypedLiteral("-3.14", rdf.XSDDecimal),
+		"f": rdf.NewTypedLiteral("1.0e6", rdf.XSDDouble),
+		"g": rdf.NewBoolean(true),
+		"h": rdf.NewBoolean(false),
+		"i": rdf.NewLiteral("single"),
+		"j": rdf.NewLiteral("long\nline"),
+		"k": rdf.NewLiteral("esc\t\"x\"é"),
+	}
+	for key, want := range checks {
+		got, ok := byKey[key]
+		if !ok || !got.Equal(want) {
+			t.Errorf("k:%s = %v, want %v", key, got, want)
+		}
+	}
+}
+
+func TestBlankNodes(t *testing.T) {
+	triples := mustParse(t, `
+		@prefix k: <http://pg/k/> .
+		_:b1 k:name "explicit" .
+		<http://s> k:address [ k:city "Nashua" ; k:state "NH" ] .
+	`)
+	if len(triples) != 4 {
+		t.Fatalf("triples = %d: %v", len(triples), triples)
+	}
+	// The anonymous node must connect the address triples.
+	var anon rdf.Term
+	for _, tr := range triples {
+		if tr.P.Value == "http://pg/k/address" {
+			anon = tr.O
+		}
+	}
+	if !anon.IsBlank() {
+		t.Fatalf("address object = %v", anon)
+	}
+	cityOK := false
+	for _, tr := range triples {
+		if tr.S.Equal(anon) && tr.P.Value == "http://pg/k/city" {
+			cityOK = true
+		}
+	}
+	if !cityOK {
+		t.Error("anonymous property list not connected")
+	}
+}
+
+func TestCollections(t *testing.T) {
+	triples := mustParse(t, `
+		@prefix k: <http://pg/k/> .
+		<http://s> k:list ( "a" "b" ) .
+		<http://s> k:empty ( ) .
+	`)
+	set := tripleSet(triples)
+	// Empty list is rdf:nil.
+	if !set[`<http://s> <http://pg/k/empty> <http://www.w3.org/1999/02/22-rdf-syntax-ns#nil>`] {
+		t.Errorf("empty collection: %v", triples)
+	}
+	// Chain: s -list-> cell1 -first-> "a", cell1 -rest-> cell2 ... -rest-> nil.
+	firsts, rests := 0, 0
+	for _, tr := range triples {
+		if strings.HasSuffix(tr.P.Value, "#first") {
+			firsts++
+		}
+		if strings.HasSuffix(tr.P.Value, "#rest") {
+			rests++
+		}
+	}
+	if firsts != 2 || rests != 2 {
+		t.Errorf("list structure: firsts=%d rests=%d\n%v", firsts, rests, triples)
+	}
+}
+
+func TestBaseResolution(t *testing.T) {
+	triples := mustParse(t, `
+		@base <http://example.org/data/> .
+		<item1> <rel> <item2> .
+		<#frag> <rel> <item3> .
+	`)
+	sort.Slice(triples, func(i, j int) bool { return triples[i].S.Value < triples[j].S.Value })
+	if triples[1].S.Value != "http://example.org/data/item1" {
+		t.Errorf("relative IRI = %q", triples[1].S.Value)
+	}
+	if !strings.HasPrefix(triples[0].S.Value, "http://example.org/data/#frag") {
+		t.Errorf("fragment IRI = %q", triples[0].S.Value)
+	}
+}
+
+func TestComments(t *testing.T) {
+	triples := mustParse(t, `
+		# leading comment
+		@prefix k: <http://pg/k/> . # trailing comment
+		<http://s> k:p "v" . # done
+	`)
+	if len(triples) != 1 {
+		t.Fatalf("triples = %d", len(triples))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	bad := []string{
+		`<http://s> <http://p> "unterminated .`,
+		`<http://s> <http://p> <http://o>`,    // missing dot
+		`<http://s> nope:x <http://o> .`,      // unknown prefix
+		`@prefix k <http://x/> .`,             // missing colon
+		`<http://s> <http://p> "x"@ .`,        // empty lang
+		`<http://s> <http://p> [ k:a "v" .`,   // unterminated []
+		`<http://s> <http://p> ( "a" .`,       // unterminated ()
+		`<http://s> <http://p> 1.2e .`,        // malformed double
+		`<http://s> <http://p> "a\qb" .`,      // bad escape
+		`<http://s a b> <http://p> "x" .`,     // space in IRI
+		`@prefix k: <http://x/> . k:s k:p k:`, // missing dot at EOF
+	}
+	for _, src := range bad {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("accepted invalid: %s", src)
+		}
+	}
+}
+
+func TestTrailingDotInPrefixedName(t *testing.T) {
+	triples := mustParse(t, `
+		@prefix pg: <http://pg/> .
+		pg:v1 pg:p pg:v2.
+	`)
+	if len(triples) != 1 || triples[0].O.Value != "http://pg/v2" {
+		t.Fatalf("triples = %v", triples)
+	}
+}
+
+// TestAgainstNTriples cross-checks the two parsers: a Turtle document
+// without Turtle-specific sugar parses identically as N-Triples.
+func TestAgainstNTriples(t *testing.T) {
+	doc := `<http://s> <http://p> "lit" .
+<http://s> <http://p2> <http://o> .
+_:b <http://p3> "x"@en .`
+	turtleTriples := mustParse(t, doc)
+	if len(turtleTriples) != 3 {
+		t.Fatalf("turtle parsed %d", len(turtleTriples))
+	}
+	set := tripleSet(turtleTriples)
+	for _, want := range []string{
+		`<http://s> <http://p> "lit"`,
+		`<http://s> <http://p2> <http://o>`,
+		`_:b <http://p3> "x"@en`,
+	} {
+		if !set[want] {
+			t.Errorf("missing %s", want)
+		}
+	}
+}
+
+func TestRealWorldShape(t *testing.T) {
+	// A WordNet-flavored snippet like §5.2 would load.
+	triples := mustParse(t, `
+		@prefix wn: <http://wordnet/> .
+		@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+		wn:synset-train-v-1
+			wn:senseLabel "train"@en-us ;
+			rdfs:label "train" , "educate" , "prepare" .
+	`)
+	if len(triples) != 4 {
+		t.Fatalf("triples = %d", len(triples))
+	}
+}

@@ -1,0 +1,169 @@
+package turtle
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Write serializes triples as Turtle: @prefix directives for every
+// prefix actually used, subjects grouped with ';' predicate lists and
+// ',' object lists. The output re-parses to exactly the input triple
+// set (round-trip property-tested).
+func Write(w io.Writer, triples []rdf.Triple, prefixes rdf.PrefixMap) error {
+	bw := bufio.NewWriter(w)
+
+	// Group by subject, preserving first-appearance order; within a
+	// subject group by predicate.
+	type pgroup struct {
+		pred    rdf.Term
+		objects []rdf.Term
+	}
+	type sgroup struct {
+		subj  rdf.Term
+		preds []*pgroup
+		pidx  map[string]*pgroup
+	}
+	var order []*sgroup
+	bySubj := map[string]*sgroup{}
+	for _, t := range triples {
+		sk := t.S.String()
+		sg, ok := bySubj[sk]
+		if !ok {
+			sg = &sgroup{subj: t.S, pidx: map[string]*pgroup{}}
+			bySubj[sk] = sg
+			order = append(order, sg)
+		}
+		pk := t.P.String()
+		pg, ok := sg.pidx[pk]
+		if !ok {
+			pg = &pgroup{pred: t.P}
+			sg.pidx[pk] = pg
+			sg.preds = append(sg.preds, pg)
+		}
+		pg.objects = append(pg.objects, t.O)
+	}
+
+	// Emit only the prefixes that shorten something in this document.
+	used := map[string]string{}
+	shorten := func(iri string) (string, bool) {
+		best, bestNS := "", ""
+		for label, ns := range prefixes {
+			if strings.HasPrefix(iri, ns) && len(ns) > len(bestNS) && validLocal(iri[len(ns):]) {
+				best, bestNS = label, ns
+			}
+		}
+		if bestNS == "" {
+			return "", false
+		}
+		used[best] = bestNS
+		return best + ":" + iri[len(bestNS):], true
+	}
+	renderTerm := func(t rdf.Term) string {
+		switch t.Kind {
+		case rdf.KindIRI:
+			if t.Value == rdf.RDFType {
+				return "a"
+			}
+			if s, ok := shorten(t.Value); ok {
+				return s
+			}
+			return "<" + t.Value + ">"
+		case rdf.KindLiteral:
+			if t.Lang == "" && t.Datatype != "" {
+				if s, ok := shorten(t.Datatype); ok {
+					return quoteTurtle(t.Value) + "^^" + s
+				}
+			}
+			return t.String() // N-Triples form is valid Turtle
+		default:
+			return t.String()
+		}
+	}
+
+	// Render the body first so `used` is populated.
+	var body strings.Builder
+	for _, sg := range order {
+		body.WriteString(renderTerm(sg.subj))
+		for pi, pg := range sg.preds {
+			if pi == 0 {
+				body.WriteByte(' ')
+			} else {
+				body.WriteString(" ;\n    ")
+			}
+			body.WriteString(renderTerm(pg.pred))
+			for oi, o := range pg.objects {
+				if oi == 0 {
+					body.WriteByte(' ')
+				} else {
+					body.WriteString(" , ")
+				}
+				body.WriteString(renderTerm(o))
+			}
+		}
+		body.WriteString(" .\n")
+	}
+
+	labels := make([]string, 0, len(used))
+	for l := range used {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		if _, err := fmt.Fprintf(bw, "@prefix %s: <%s> .\n", l, used[l]); err != nil {
+			return err
+		}
+	}
+	if len(labels) > 0 {
+		if _, err := bw.WriteString("\n"); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString(body.String()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// validLocal reports whether a string can appear as the local part of a
+// prefixed name in our writer (conservative: names the parser accepts
+// and that cannot end in '.').
+func validLocal(s string) bool {
+	if s == "" || strings.HasSuffix(s, ".") {
+		return false
+	}
+	for _, r := range s {
+		if !isNameChar(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// quoteTurtle renders a short quoted string with escapes.
+func quoteTurtle(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

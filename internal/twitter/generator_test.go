@@ -1,0 +1,144 @@
+package twitter
+
+import (
+	"testing"
+
+	"repro/internal/pg"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := TestConfig()
+	a := Generate(cfg)
+	b := Generate(cfg)
+	sa, sb := a.ComputeStats(), b.ComputeStats()
+	if sa != sb {
+		t.Fatalf("same seed, different stats: %+v vs %+v", sa, sb)
+	}
+	cfg.Seed++
+	c := Generate(cfg)
+	if c.ComputeStats() == sa {
+		t.Error("different seed produced identical stats (suspicious)")
+	}
+}
+
+// TestShapeMatchesPaper checks the qualitative dataset characteristics
+// of Table 6 at reduced scale:
+//   - highly connected: edges >> nodes
+//   - edge KVs > node KVs (the KV-intersection rule with shared ego
+//     pools makes edge KVs dominate)
+//   - knows edges are a small fraction of follows edges
+//   - exactly the two labels and two keys of §4.2
+func TestShapeMatchesPaper(t *testing.T) {
+	g := Generate(TestConfig())
+	st := g.ComputeStats()
+	t.Logf("generated: %+v", st)
+	if st.Vertices < 100 {
+		t.Fatalf("too few vertices: %d", st.Vertices)
+	}
+	if st.Edges < 2*st.Vertices {
+		t.Errorf("graph not highly connected: V=%d E=%d", st.Vertices, st.Edges)
+	}
+	if st.EdgeKVs <= st.NodeKVs {
+		t.Errorf("edge KVs (%d) should exceed node KVs (%d) as in Table 6", st.EdgeKVs, st.NodeKVs)
+	}
+	if st.EdgeLabels != 2 {
+		t.Errorf("labels = %d, want 2 (follows, knows)", st.EdgeLabels)
+	}
+	if st.NodeKeys != 2 || st.EdgeKeys != 2 {
+		t.Errorf("keys: node=%d edge=%d, want 2 (refs, hasTag)", st.NodeKeys, st.EdgeKeys)
+	}
+
+	follows, knows := 0, 0
+	g.Edges(func(e *pg.Edge) bool {
+		switch e.Label {
+		case "follows":
+			follows++
+		case "knows":
+			knows++
+		}
+		return true
+	})
+	if knows == 0 || follows == 0 {
+		t.Fatalf("follows=%d knows=%d", follows, knows)
+	}
+	if knows*4 > follows {
+		t.Errorf("knows (%d) should be well below follows (%d), ratio ~13:1 in the paper", knows, follows)
+	}
+}
+
+// TestDegreeDistributionHeavyTailed checks the Figure 4 shape: the
+// maximum in-degree is far above the mean (popular nodes), and the
+// distribution is monotone-ish decreasing in the tail.
+func TestDegreeDistributionHeavyTailed(t *testing.T) {
+	g := Generate(TestConfig())
+	_, in := g.DegreeDistribution()
+	maxDeg, total, count := 0, 0, 0
+	for deg, n := range in {
+		if deg > maxDeg {
+			maxDeg = deg
+		}
+		total += deg * n
+		count += n
+	}
+	mean := float64(total) / float64(count)
+	if float64(maxDeg) < 5*mean {
+		t.Errorf("max in-degree %d not heavy-tailed vs mean %.1f", maxDeg, mean)
+	}
+}
+
+func TestEdgeKVsAreEndpointIntersections(t *testing.T) {
+	g := Generate(TestConfig())
+	checked := 0
+	violations := 0
+	g.Edges(func(e *pg.Edge) bool {
+		src, dst := g.Vertex(e.Src), g.Vertex(e.Dst)
+		for _, k := range e.Keys() {
+			for _, v := range e.Values(k) {
+				if !hasKV(src, k, v) || !hasKV(dst, k, v) {
+					violations++
+				}
+			}
+		}
+		checked++
+		return checked < 2000
+	})
+	if violations != 0 {
+		t.Errorf("%d edge KVs not in both endpoints' KV sets", violations)
+	}
+}
+
+func hasKV(v *pg.Vertex, key string, val pg.Value) bool {
+	for _, have := range v.Values(key) {
+		if have == val {
+			return true
+		}
+	}
+	return false
+}
+
+func TestScale(t *testing.T) {
+	base := PaperConfig()
+	half := base.Scale(0.5)
+	if half.Egos != base.Egos/2 {
+		t.Errorf("Scale(0.5).Egos = %d", half.Egos)
+	}
+	tiny := base.Scale(0.00001)
+	if tiny.Egos != 1 {
+		t.Errorf("Scale floor = %d, want 1", tiny.Egos)
+	}
+	// Scaling roughly scales all counts.
+	s1 := Generate(PaperConfig().Scale(0.01)).ComputeStats()
+	s2 := Generate(PaperConfig().Scale(0.02)).ComputeStats()
+	if s2.Edges < s1.Edges*3/2 {
+		t.Errorf("doubling egos should grow edges: %d -> %d", s1.Edges, s2.Edges)
+	}
+}
+
+func TestGeneratePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on zero-ego config")
+		}
+	}()
+	Generate(Config{})
+}
