@@ -16,10 +16,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"net/http"
 
@@ -304,7 +308,10 @@ func runTraverse(args []string) error {
 	return nil
 }
 
-// runServe starts a SPARQL 1.1 Protocol endpoint over a loaded dataset.
+// runServe starts a SPARQL 1.1 Protocol endpoint over a loaded dataset,
+// with query guardrails (deadline, budget, admission control) and a
+// graceful drain on SIGINT/SIGTERM: new requests are shed with 503
+// while in-flight queries finish.
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	data := fs.String("data", "", "N-Quads data file to load (optional: start empty)")
@@ -312,6 +319,12 @@ func runServe(args []string) error {
 	indexes := fs.String("indexes", "PCSGM,PSCGM,SPCGM,GSPCM", "semantic network indexes")
 	addr := fs.String("addr", "localhost:3030", "listen address")
 	readOnly := fs.Bool("readonly", false, "disable the /update endpoint")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-query wall-clock deadline (negative = unlimited)")
+	maxConcurrent := fs.Int("max-concurrent", 0, "max queries executing at once (0 = 2x GOMAXPROCS, negative = unlimited)")
+	maxQueue := fs.Int("max-queue", 32, "max requests waiting for a free slot before shedding with 503")
+	maxRows := fs.Int("max-rows", 0, "per-query result-row budget (0 = default, negative = unlimited)")
+	maxBindings := fs.Int("max-bindings", 0, "per-query intermediate-binding budget (0 = default, negative = unlimited)")
+	drainWait := fs.Duration("drain", 15*time.Second, "max time to wait for in-flight queries on shutdown")
 	fs.Parse(args)
 
 	var st *store.Store
@@ -338,11 +351,37 @@ func runServe(args []string) error {
 			return err
 		}
 	}
-	h := httpapi.NewServer(st)
+	cfg := httpapi.DefaultConfig()
+	cfg.QueryTimeout = *timeout
+	cfg.UpdateTimeout = *timeout
+	cfg.MaxConcurrent = *maxConcurrent
+	cfg.MaxQueue = *maxQueue
+	cfg.MaxRows = *maxRows
+	cfg.MaxBindings = *maxBindings
+	h := httpapi.NewServerWithConfig(st, cfg)
 	h.ReadOnly = *readOnly
 	fmt.Fprintf(os.Stderr, "SPARQL endpoint on http://%s/sparql (updates: http://%s/update, stats: http://%s/stats)\n",
 		*addr, *addr, *addr)
-	return http.ListenAndServe(*addr, h)
+
+	srv := &http.Server{Addr: *addr, Handler: h}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "pgrdf: draining in-flight queries...")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	// Shed queued and future requests first, then close listeners and
+	// wait for the in-flight ones.
+	if err := h.Drain(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "pgrdf: drain timed out; forcing shutdown")
+	}
+	return srv.Shutdown(dctx)
 }
 
 func runStats(args []string) error {

@@ -16,14 +16,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"net/url"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/httpapi"
+	"repro/internal/sparql"
 	"repro/internal/twitter"
 )
 
@@ -34,10 +38,15 @@ func main() {
 	fmt.Printf("dataset: %d nodes, %d edges; serving the NG store\n",
 		env.GraphStats.Vertices, env.GraphStats.Edges)
 
-	// 2. Serve on an ephemeral port.
+	// 2. Serve on an ephemeral port, with explicit guardrails: a 5s
+	// per-query deadline, a bounded admission queue, and a per-query
+	// resource budget (see httpapi.Config for the knobs).
+	cfg := httpapi.DefaultConfig()
+	cfg.QueryTimeout = 5 * time.Second
 	ln, err := net.Listen("tcp", "localhost:0")
 	check(err)
-	srv := &http.Server{Handler: httpapi.NewServer(env.NG.Store)}
+	handler := httpapi.NewServerWithConfig(env.NG.Store, cfg)
+	srv := &http.Server{Handler: handler}
 	go srv.Serve(ln)
 	base := "http://" + ln.Addr().String()
 	fmt.Println("endpoint:", base+"/sparql")
@@ -79,6 +88,19 @@ SELECT ?n (COUNT(?t) AS ?tags) WHERE { ?n k:hasTag ?t } GROUP BY ?n ORDER BY DES
 	check(err)
 	fmt.Printf("update visible over the wire: %d row(s)\n", res.Len())
 
+	// 3d. Guardrails: an adversarial cross join is stopped by the
+	// engine's budget/deadline instead of taking the endpoint down.
+	handler.Config() // effective limits, if you want to inspect them
+	eng := sparql.NewEngine(env.NG.Store)
+	eng.Limits = sparql.Budget{Timeout: 100 * time.Millisecond}
+	_, err = eng.Query("", `SELECT * WHERE { ?a ?p ?b . ?c ?q ?d . ?e ?r ?f }`)
+	fmt.Printf("unbounded cross join with 100ms budget: %v (timeout=%v)\n",
+		err, errors.Is(err, sparql.ErrTimeout))
+
+	// 4. Graceful drain: shed new arrivals, let in-flight finish.
+	dctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	check(handler.Drain(dctx))
 	check(srv.Close())
 }
 

@@ -8,6 +8,7 @@ package httpapi
 import (
 	"encoding/json"
 	"io"
+	"net/http"
 
 	"repro/internal/rdf"
 	"repro/internal/sparql"
@@ -119,4 +120,20 @@ func ParseResultsJSON(r io.Reader) (*sparql.Results, bool, error) {
 		res.Rows = append(res.Rows, row)
 	}
 	return res, false, nil
+}
+
+// jsonError is the error body every non-2xx response carries:
+// {"error": "...", "kind": "..."}. Kind is a stable machine-readable
+// slug ("timeout", "budget-exceeded", "overloaded", "too-large",
+// "read-only", ...); error is the human-readable message.
+type jsonError struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+// writeJSONError writes a structured error response.
+func writeJSONError(w http.ResponseWriter, status int, kind, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(jsonError{Error: msg, Kind: kind}) //nolint:errcheck
 }

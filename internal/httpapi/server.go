@@ -1,16 +1,182 @@
 package httpapi
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/ntriples"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
 	"repro/internal/store"
 )
+
+// Config bounds what one request — and the endpoint as a whole — may
+// consume. The zero value of a field falls back to the DefaultConfig
+// value; explicit negatives disable a limit.
+type Config struct {
+	// QueryTimeout is the wall-clock deadline for one query request,
+	// measured from admission (queue wait does not count against it).
+	// <0 disables.
+	QueryTimeout time.Duration
+	// UpdateTimeout is the deadline for one update request. <0 disables.
+	UpdateTimeout time.Duration
+	// MaxConcurrent is the number of queries executing simultaneously.
+	// <0 disables admission control.
+	MaxConcurrent int
+	// MaxQueue is how many requests may wait for a free execution slot
+	// before new arrivals are shed with 503.
+	MaxQueue int
+	// QueueWait is the longest a request waits in the admission queue
+	// before being shed with 503.
+	QueueWait time.Duration
+	// RetryAfter is the hint returned in the Retry-After header of 503
+	// responses.
+	RetryAfter time.Duration
+	// MaxBodyBytes caps POST bodies; oversized requests get 413. <0
+	// disables.
+	MaxBodyBytes int64
+	// MaxRows and MaxBindings are the per-query resource budget (see
+	// sparql.Budget). <0 disables.
+	MaxRows     int
+	MaxBindings int
+}
+
+// DefaultConfig returns the production defaults: 30s deadlines, twice
+// GOMAXPROCS concurrent queries with a short bounded queue, 1 MiB
+// bodies, and a budget generous enough for analytical queries but
+// finite.
+func DefaultConfig() Config {
+	return Config{
+		QueryTimeout:  30 * time.Second,
+		UpdateTimeout: 30 * time.Second,
+		MaxConcurrent: 2 * runtime.GOMAXPROCS(0),
+		MaxQueue:      32,
+		QueueWait:     2 * time.Second,
+		RetryAfter:    1 * time.Second,
+		MaxBodyBytes:  1 << 20,
+		MaxRows:       5_000_000,
+		MaxBindings:   50_000_000,
+	}
+}
+
+// withDefaults fills zero fields from DefaultConfig and maps explicit
+// negatives to "disabled".
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.QueryTimeout == 0 {
+		c.QueryTimeout = d.QueryTimeout
+	}
+	if c.UpdateTimeout == 0 {
+		c.UpdateTimeout = d.UpdateTimeout
+	}
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = d.MaxConcurrent
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = d.MaxQueue
+	}
+	if c.QueueWait == 0 {
+		c.QueueWait = d.QueueWait
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = d.RetryAfter
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = d.MaxBodyBytes
+	}
+	if c.MaxRows == 0 {
+		c.MaxRows = d.MaxRows
+	}
+	if c.MaxBindings == 0 {
+		c.MaxBindings = d.MaxBindings
+	}
+	return c
+}
+
+// admission is a semaphore-based admission controller with a bounded
+// wait queue: up to cap(slots) requests run, up to cap(queue) more wait
+// (at most wait long), and everything beyond that is shed immediately.
+type admission struct {
+	slots chan struct{}
+	queue chan struct{}
+	wait  time.Duration
+	drain chan struct{}
+	once  sync.Once
+}
+
+func newAdmission(maxConcurrent, maxQueue int, wait time.Duration) *admission {
+	if maxConcurrent <= 0 {
+		return nil // admission control disabled
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admission{
+		slots: make(chan struct{}, maxConcurrent),
+		queue: make(chan struct{}, maxQueue),
+		wait:  wait,
+		drain: make(chan struct{}),
+	}
+}
+
+// acquire admits the request or reports shed=true. A nil controller
+// admits everything. The returned release must be called exactly once.
+func (a *admission) acquire(ctx context.Context) (release func(), ok bool) {
+	if a == nil {
+		return func() {}, true
+	}
+	select {
+	case <-a.drain:
+		return nil, false
+	default:
+	}
+	// Fast path: free slot.
+	select {
+	case a.slots <- struct{}{}:
+		return a.releaseFn(), true
+	default:
+	}
+	// Join the bounded wait queue, or shed.
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		return nil, false
+	}
+	defer func() { <-a.queue }()
+	timer := time.NewTimer(a.wait)
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		return a.releaseFn(), true
+	case <-timer.C:
+		return nil, false
+	case <-ctx.Done():
+		return nil, false
+	case <-a.drain:
+		return nil, false
+	}
+}
+
+func (a *admission) releaseFn() func() {
+	var once sync.Once
+	return func() { once.Do(func() { <-a.slots }) }
+}
+
+// close sheds all queued waiters and every future arrival.
+func (a *admission) close() {
+	if a == nil {
+		return
+	}
+	a.once.Do(func() { close(a.drain) })
+}
 
 // Server is the SPARQL protocol handler. Mount it on an http.Server:
 //
@@ -30,24 +196,150 @@ import (
 // SELECT and ASK return application/sparql-results+json; CONSTRUCT
 // returns application/n-quads. The optional `model` parameter names the
 // semantic or virtual model to query ("" = all models).
+//
+// Requests run under the guardrails in Config: per-request deadlines, a
+// per-query resource budget, and a semaphore-based admission controller
+// that sheds excess load with 503 + Retry-After. Error responses carry
+// a JSON body: {"error": "...", "kind": "..."}.
 type Server struct {
 	eng *sparql.Engine
 	mux *http.ServeMux
+	cfg Config
+	adm *admission
+	// inflight counts admitted requests still executing, for Drain.
+	inflight sync.WaitGroup
+	draining atomic.Bool
 	// ReadOnly disables the /update endpoint.
 	ReadOnly bool
 }
 
-// NewServer builds a handler over the store.
+// NewServer builds a handler over the store with DefaultConfig.
 func NewServer(st *store.Store) *Server {
-	s := &Server{eng: sparql.NewEngine(st), mux: http.NewServeMux()}
+	return NewServerWithConfig(st, DefaultConfig())
+}
+
+// NewServerWithConfig builds a handler with explicit guardrails. Zero
+// Config fields take their DefaultConfig values; negative values
+// disable the corresponding limit.
+func NewServerWithConfig(st *store.Store, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	eng := sparql.NewEngine(st)
+	eng.Limits = sparql.Budget{
+		// Timeouts are applied per request from the HTTP layer so
+		// admission-queue wait never eats into execution time.
+		MaxRows:     max(cfg.MaxRows, 0),
+		MaxBindings: max(cfg.MaxBindings, 0),
+	}
+	s := &Server{
+		eng: eng,
+		mux: http.NewServeMux(),
+		cfg: cfg,
+		adm: newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.QueueWait),
+	}
 	s.mux.HandleFunc("/sparql", s.handleQuery)
 	s.mux.HandleFunc("/update", s.handleUpdate)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	return s
 }
 
+// Config returns the effective (default-filled) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Drain puts the server into shutdown mode: every new or queued request
+// is shed with 503, and Drain blocks until all in-flight requests have
+// completed (or ctx fires). Pair it with http.Server.Shutdown for a
+// graceful stop.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.adm.close()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// admit runs the admission controller for one request, writing the 503
+// itself when the request is shed.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (func(), bool) {
+	if s.draining.Load() {
+		s.shed(w, "server is shutting down")
+		return nil, false
+	}
+	free, ok := s.adm.acquire(r.Context())
+	if !ok {
+		if r.Context().Err() != nil {
+			// Client went away while queued; nothing useful to write.
+			return nil, false
+		}
+		s.shed(w, "server is at capacity")
+		return nil, false
+	}
+	s.inflight.Add(1)
+	return func() { free(); s.inflight.Done() }, true
+}
+
+func (s *Server) shed(w http.ResponseWriter, msg string) {
+	secs := int(s.cfg.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	writeJSONError(w, http.StatusServiceUnavailable, "overloaded", msg)
+}
+
+// requestCtx derives the execution context for a request.
+func requestCtx(r *http.Request, timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(r.Context(), timeout)
+	}
+	return r.Context(), func() {}
+}
+
+// readBody reads a raw POST body up to the configured cap, reporting
+// overflow so the handler can answer 413 instead of truncating the
+// request into a confusing parse error.
+func (s *Server) readBody(r *http.Request) (string, error) {
+	limit := s.cfg.MaxBodyBytes
+	if limit <= 0 {
+		b, err := io.ReadAll(r.Body)
+		return string(b), err
+	}
+	b, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
+	if err != nil {
+		return "", err
+	}
+	if int64(len(b)) > limit {
+		return "", errBodyTooLarge
+	}
+	return string(b), nil
+}
+
+var errBodyTooLarge = errors.New("request body exceeds the configured limit")
+
+// parseFormBounded parses a form body under the same cap as raw bodies.
+func (s *Server) parseFormBounded(w http.ResponseWriter, r *http.Request) error {
+	if s.cfg.MaxBodyBytes > 0 && r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	}
+	if err := r.ParseForm(); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return errBodyTooLarge
+		}
+		return err
+	}
+	return nil
+}
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var query, model string
@@ -58,38 +350,47 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case http.MethodPost:
 		ct := r.Header.Get("Content-Type")
 		if strings.HasPrefix(ct, "application/sparql-query") {
-			body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+			body, err := s.readBody(r)
 			if err != nil {
-				http.Error(w, err.Error(), http.StatusBadRequest)
+				bodyError(w, err)
 				return
 			}
-			query = string(body)
+			query = body
 			model = r.URL.Query().Get("model")
 		} else {
-			if err := r.ParseForm(); err != nil {
-				http.Error(w, err.Error(), http.StatusBadRequest)
+			if err := s.parseFormBounded(w, r); err != nil {
+				bodyError(w, err)
 				return
 			}
 			query = r.PostForm.Get("query")
 			model = r.PostForm.Get("model")
 		}
 	default:
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		writeJSONError(w, http.StatusMethodNotAllowed, "method", "method not allowed")
 		return
 	}
 	if strings.TrimSpace(query) == "" {
-		http.Error(w, "missing query", http.StatusBadRequest)
+		writeJSONError(w, http.StatusBadRequest, "request", "missing query")
 		return
 	}
 
 	form, err := queryForm(query)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeJSONError(w, http.StatusBadRequest, "parse", err.Error())
 		return
 	}
+
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := requestCtx(r, s.cfg.QueryTimeout)
+	defer cancel()
+
 	switch form {
 	case sparql.FormAsk:
-		v, err := s.eng.Ask(model, query)
+		v, err := s.eng.AskContext(ctx, model, query)
 		if err != nil {
 			queryError(w, err)
 			return
@@ -100,9 +401,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		var quads []rdf.Quad
 		var err error
 		if form == sparql.FormConstruct {
-			quads, err = s.eng.Construct(model, query)
+			quads, err = s.eng.ConstructContext(ctx, model, query)
 		} else {
-			quads, err = s.eng.Describe(model, query)
+			quads, err = s.eng.DescribeContext(ctx, model, query)
 		}
 		if err != nil {
 			queryError(w, err)
@@ -112,7 +413,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		nw := ntriples.NewWriter(w)
 		nw.WriteAll(quads)
 	default:
-		res, err := s.eng.Query(model, query)
+		res, err := s.eng.QueryContext(ctx, model, query)
 		if err != nil {
 			queryError(w, err)
 			return
@@ -131,52 +432,80 @@ func queryForm(query string) (sparql.QueryForm, error) {
 	return q.Form, nil
 }
 
-func queryError(w http.ResponseWriter, err error) {
-	status := http.StatusBadRequest
-	if strings.Contains(err.Error(), "unknown model") {
-		status = http.StatusNotFound
+func bodyError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errBodyTooLarge) {
+		writeJSONError(w, http.StatusRequestEntityTooLarge, "too-large", err.Error())
+		return
 	}
-	http.Error(w, err.Error(), status)
+	writeJSONError(w, http.StatusBadRequest, "request", err.Error())
+}
+
+// queryError maps an engine error onto an HTTP status + JSON body.
+func queryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, sparql.ErrTimeout):
+		writeJSONError(w, http.StatusGatewayTimeout, "timeout", err.Error())
+	case errors.Is(err, sparql.ErrBudgetExceeded):
+		writeJSONError(w, http.StatusBadRequest, "budget-exceeded", err.Error())
+	case errors.Is(err, sparql.ErrCanceled):
+		// The client is usually gone; the status is best-effort.
+		writeJSONError(w, http.StatusRequestTimeout, "canceled", err.Error())
+	case errors.Is(err, sparql.ErrInternal):
+		writeJSONError(w, http.StatusInternalServerError, "internal", "internal query error")
+	case strings.Contains(err.Error(), "unknown model"):
+		writeJSONError(w, http.StatusNotFound, "unknown-model", err.Error())
+	default:
+		writeJSONError(w, http.StatusBadRequest, "query", err.Error())
+	}
 }
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	if s.ReadOnly {
-		http.Error(w, "updates are disabled", http.StatusForbidden)
+		writeJSONError(w, http.StatusForbidden, "read-only", "updates are disabled on this endpoint")
 		return
 	}
 	if r.Method != http.MethodPost {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		writeJSONError(w, http.StatusMethodNotAllowed, "method", "method not allowed")
 		return
 	}
 	var request, model string
 	ct := r.Header.Get("Content-Type")
 	if strings.HasPrefix(ct, "application/sparql-update") {
-		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		body, err := s.readBody(r)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			bodyError(w, err)
 			return
 		}
-		request = string(body)
+		request = body
 		model = r.URL.Query().Get("model")
 	} else {
-		if err := r.ParseForm(); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+		if err := s.parseFormBounded(w, r); err != nil {
+			bodyError(w, err)
 			return
 		}
 		request = r.PostForm.Get("update")
 		model = r.PostForm.Get("model")
 	}
 	if strings.TrimSpace(request) == "" {
-		http.Error(w, "missing update", http.StatusBadRequest)
+		writeJSONError(w, http.StatusBadRequest, "request", "missing update")
 		return
 	}
 	if model == "" {
-		http.Error(w, "updates require an explicit model parameter", http.StatusBadRequest)
+		writeJSONError(w, http.StatusBadRequest, "request", "updates require an explicit model parameter")
 		return
 	}
-	res, err := s.eng.Update(model, request)
+
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := requestCtx(r, s.cfg.UpdateTimeout)
+	defer cancel()
+
+	res, err := s.eng.UpdateContext(ctx, model, request)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		queryError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -185,7 +514,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		writeJSONError(w, http.StatusMethodNotAllowed, "method", "method not allowed")
 		return
 	}
 	model := r.URL.Query().Get("model")
@@ -195,7 +524,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	st, err := s.eng.Store().Stats(models...)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusNotFound)
+		writeJSONError(w, http.StatusNotFound, "unknown-model", err.Error())
 		return
 	}
 	rep := s.eng.Store().Storage()

@@ -53,6 +53,12 @@ func (v varset) with(slot int) varset { return v | 1<<uint(slot) }
 
 const maxVars = 64
 
+// maxPatterns bounds the triple patterns one query may lower. The
+// greedy join-order search is quadratic in the pattern count, so an
+// adversarial query with tens of thousands of patterns could stall the
+// compiler before execution guardrails ever see it.
+const maxPatterns = 4096
+
 // posRef is one position of a quad pattern: a constant term or a var slot.
 type posRef struct {
 	isVar bool
@@ -146,8 +152,9 @@ type compiledOrder struct {
 }
 
 type compiler struct {
-	vt  *varTable
-	seq *int // shared fresh-var counter across nested scopes
+	vt       *varTable
+	seq      *int // shared fresh-var counter across nested scopes
+	patterns int  // total triple patterns lowered (guardrail accounting)
 }
 
 func freshCounter() *int { i := 0; return &i }
@@ -308,6 +315,10 @@ func (c *compiler) group(g *GroupGraphPattern) ([]op, error) {
 				qps, extra, err := c.lowerTriple(x, eff)
 				if err != nil {
 					return err
+				}
+				c.patterns += len(qps)
+				if c.patterns > maxPatterns {
+					return fmt.Errorf("sparql: query uses more than %d triple patterns", maxPatterns)
 				}
 				bgp = append(bgp, qps...)
 				if len(extra) > 0 {

@@ -1,6 +1,7 @@
 package sparql
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -18,6 +19,11 @@ type Engine struct {
 	// exists for the join-strategy ablation benchmarks; leave it false
 	// for normal use.
 	DisableHashJoin bool
+
+	// Limits is the per-query resource budget applied by the *Context
+	// execution methods. The zero value imposes no limits. Set it once
+	// before serving queries; it is read concurrently.
+	Limits Budget
 
 	// planCache caches compiled SELECT plans by query text. Compiled
 	// plans are immutable after compilation (all per-run state lives in
@@ -110,13 +116,25 @@ func (r *Results) String() string {
 
 // Query parses and executes a SELECT query against the dataset named by
 // model (a semantic model, a virtual model, or "" for the union of all
-// models).
+// models). It is the uncancellable convenience form of QueryContext.
 func (e *Engine) Query(model, query string) (*Results, error) {
+	return e.QueryContext(context.Background(), model, query)
+}
+
+// QueryContext is Query with cooperative cancellation and the engine's
+// resource budget: execution stops promptly — returning a *QueryError
+// with kind ErrTimeout, ErrCanceled or ErrBudgetExceeded — when ctx
+// fires or Limits are exhausted. Internal panics are recovered into a
+// *QueryError with kind ErrInternal.
+func (e *Engine) QueryContext(ctx context.Context, model, query string) (res *Results, err error) {
+	defer recoverQueryPanic(&err)
+	ctx, cancel := e.budgetCtx(ctx)
+	defer cancel()
 	cp, err := e.compileCached(query)
 	if err != nil {
 		return nil, err
 	}
-	ec, err := e.execCtx(model, cp.vt)
+	ec, err := e.execCtxIn(ctx, model, cp.vt)
 	if err != nil {
 		return nil, err
 	}
@@ -124,7 +142,7 @@ func (e *Engine) Query(model, query string) (*Results, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Results{Rows: rows}
+	res = &Results{Rows: rows}
 	for _, pr := range cp.projection {
 		res.Vars = append(res.Vars, pr.name)
 	}
@@ -134,6 +152,15 @@ func (e *Engine) Query(model, query string) (*Results, error) {
 // Ask parses and executes an ASK query: does the pattern have at least
 // one solution in the dataset?
 func (e *Engine) Ask(model, query string) (bool, error) {
+	return e.AskContext(context.Background(), model, query)
+}
+
+// AskContext is Ask with cooperative cancellation and the engine's
+// resource budget (see QueryContext).
+func (e *Engine) AskContext(ctx context.Context, model, query string) (found bool, err error) {
+	defer recoverQueryPanic(&err)
+	ctx, cancel := e.budgetCtx(ctx)
+	defer cancel()
 	q, err := Parse(query)
 	if err != nil {
 		return false, err
@@ -149,16 +176,15 @@ func (e *Engine) Ask(model, query string) (bool, error) {
 	if len(c.vt.names) > maxVars {
 		return false, fmt.Errorf("sparql: query uses more than %d variables", maxVars)
 	}
-	ec, err := e.execCtx(model, c.vt)
+	ec, err := e.execCtxIn(ctx, model, c.vt)
 	if err != nil {
 		return false, err
 	}
-	found := false
 	src := runPipeline(ec, pipeline, unitSource(len(c.vt.names)))
-	if err := src(func(binding) bool {
+	if err := finishGuard(ec, src(func(binding) bool {
 		found = true
 		return false
-	}); err != nil {
+	})); err != nil {
 		return false, err
 	}
 	return found, nil
@@ -169,6 +195,16 @@ func (e *Engine) Ask(model, query string) (bool, error) {
 // (template entries with an unbound variable are skipped for that
 // solution, per the SPARQL semantics).
 func (e *Engine) Construct(model, query string) ([]rdf.Quad, error) {
+	return e.ConstructContext(context.Background(), model, query)
+}
+
+// ConstructContext is Construct with cooperative cancellation and the
+// engine's resource budget (see QueryContext). MaxRows caps the number
+// of constructed quads.
+func (e *Engine) ConstructContext(ctx context.Context, model, query string) (out []rdf.Quad, err error) {
+	defer recoverQueryPanic(&err)
+	ctx, cancel := e.budgetCtx(ctx)
+	defer cancel()
 	q, err := Parse(query)
 	if err != nil {
 		return nil, err
@@ -185,17 +221,16 @@ func (e *Engine) Construct(model, query string) ([]rdf.Quad, error) {
 	if len(c.vt.names) > maxVars {
 		return nil, fmt.Errorf("sparql: query uses more than %d variables", maxVars)
 	}
-	ec, err := e.execCtx(model, c.vt)
+	ec, err := e.execCtxIn(ctx, model, c.vt)
 	if err != nil {
 		return nil, err
 	}
 	seen := make(map[rdf.Quad]struct{})
-	var out []rdf.Quad
 	src := runPipeline(ec, pipeline, unitSource(len(c.vt.names)))
-	if err := src(func(b binding) bool {
+	if err := finishGuard(ec, src(func(b binding) bool {
 		instantiateTemplates(ec, tmpl, b, seen, &out)
-		return true
-	}); err != nil {
+		return ec.guard.checkRows(len(out))
+	})); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -271,6 +306,16 @@ func instantiateTemplates(ec *execCtx, tmpl []compiledTemplate, b binding, seen 
 // common "symmetric concise bounded description" choice — the SPARQL
 // spec leaves DESCRIBE semantics to the implementation).
 func (e *Engine) Describe(model, query string) ([]rdf.Quad, error) {
+	return e.DescribeContext(context.Background(), model, query)
+}
+
+// DescribeContext is Describe with cooperative cancellation and the
+// engine's resource budget (see QueryContext). MaxRows caps the number
+// of description quads.
+func (e *Engine) DescribeContext(ctx context.Context, model, query string) (out []rdf.Quad, err error) {
+	defer recoverQueryPanic(&err)
+	ctx, cancel := e.budgetCtx(ctx)
+	defer cancel()
 	q, err := Parse(query)
 	if err != nil {
 		return nil, err
@@ -286,7 +331,7 @@ func (e *Engine) Describe(model, query string) ([]rdf.Quad, error) {
 	if len(c.vt.names) > maxVars {
 		return nil, fmt.Errorf("sparql: query uses more than %d variables", maxVars)
 	}
-	ec, err := e.execCtx(model, c.vt)
+	ec, err := e.execCtxIn(ctx, model, c.vt)
 	if err != nil {
 		return nil, err
 	}
@@ -307,20 +352,19 @@ func (e *Engine) Describe(model, query string) ([]rdf.Quad, error) {
 	}
 	if len(varSlots) > 0 {
 		src := runPipeline(ec, pipeline, unitSource(len(c.vt.names)))
-		if err := src(func(b binding) bool {
+		if err := finishGuard(ec, src(func(b binding) bool {
 			for _, slot := range varSlots {
 				if b[slot] != store.NoID {
 					resources[b[slot]] = struct{}{}
 				}
 			}
 			return true
-		}); err != nil {
+		})); err != nil {
 			return nil, err
 		}
 	}
 
 	seen := make(map[rdf.Quad]struct{})
-	var out []rdf.Quad
 	emit := func(q store.IDQuad) bool {
 		quad := rdf.Quad{S: ec.term(q.S), P: ec.term(q.P), O: ec.term(q.C)}
 		if q.G != store.NoID {
@@ -330,7 +374,7 @@ func (e *Engine) Describe(model, query string) ([]rdf.Quad, error) {
 			seen[quad] = struct{}{}
 			out = append(out, quad)
 		}
-		return true
+		return ec.guard.checkRows(len(out))
 	}
 	for id := range resources {
 		p := store.AnyPattern()
@@ -339,6 +383,9 @@ func (e *Engine) Describe(model, query string) ([]rdf.Quad, error) {
 		p = store.AnyPattern()
 		p.C = id
 		ec.scan(p, emit)
+	}
+	if err := finishGuard(ec, nil); err != nil {
+		return nil, err
 	}
 	sort.Slice(out, func(i, j int) bool { return rdf.CompareQuads(out[i], out[j]) < 0 })
 	return out, nil
@@ -395,6 +442,25 @@ func datasetName(model string) string {
 	return model
 }
 
+// budgetCtx derives the execution context honouring Limits.Timeout.
+func (e *Engine) budgetCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if e.Limits.Timeout > 0 {
+		return context.WithTimeout(ctx, e.Limits.Timeout)
+	}
+	return ctx, func() {}
+}
+
+// execCtxIn builds the execution context with a guard enforcing ctx and
+// the engine's Limits.
+func (e *Engine) execCtxIn(ctx context.Context, model string, vt *varTable) (*execCtx, error) {
+	ec, err := e.execCtx(model, vt)
+	if err != nil {
+		return nil, err
+	}
+	ec.guard = newGuard(ctx, e.Limits)
+	return ec, nil
+}
+
 func (e *Engine) execCtx(model string, vt *varTable) (*execCtx, error) {
 	ids, err := e.st.ResolveDataset(model)
 	if err != nil {
@@ -424,15 +490,42 @@ type UpdateResult struct {
 // the named model (which must be a concrete semantic model); deletes
 // remove matching quads from every model in the dataset.
 func (e *Engine) Update(model, request string) (UpdateResult, error) {
+	return e.UpdateContext(context.Background(), model, request)
+}
+
+// UpdateContext is Update with cooperative cancellation and the
+// engine's resource budget: the WHERE evaluation of DELETE WHERE and
+// DELETE/INSERT templates is guarded like a query, and bulk data blocks
+// poll the context between quads. An update aborted mid-request leaves
+// the already-applied operations in place (no rollback), mirroring the
+// per-operation semantics of SPARQL Update.
+func (e *Engine) UpdateContext(ctx context.Context, model, request string) (res UpdateResult, err error) {
+	defer recoverQueryPanic(&err)
+	ctx, cancel := e.budgetCtx(ctx)
+	defer cancel()
 	u, err := ParseUpdate(request)
 	if err != nil {
 		return UpdateResult{}, err
 	}
-	var res UpdateResult
+	done := ctx.Done()
+	checkCtx := func(i int) error {
+		if done == nil || i%1024 != 0 {
+			return nil
+		}
+		select {
+		case <-done:
+			return ctxQueryError(ctx.Err())
+		default:
+			return nil
+		}
+	}
 	for _, op := range u.Ops {
 		switch x := op.(type) {
 		case InsertData:
-			for _, q := range x.Quads {
+			for i, q := range x.Quads {
+				if err := checkCtx(i); err != nil {
+					return res, err
+				}
 				ok, err := e.st.Insert(model, q)
 				if err != nil {
 					return res, err
@@ -442,7 +535,10 @@ func (e *Engine) Update(model, request string) (UpdateResult, error) {
 				}
 			}
 		case DeleteData:
-			for _, q := range x.Quads {
+			for i, q := range x.Quads {
+				if err := checkCtx(i); err != nil {
+					return res, err
+				}
 				ok, err := e.st.Delete(model, q)
 				if err != nil {
 					return res, err
@@ -452,13 +548,13 @@ func (e *Engine) Update(model, request string) (UpdateResult, error) {
 				}
 			}
 		case DeleteWhere:
-			n, err := e.deleteWhere(model, x.Where)
+			n, err := e.deleteWhere(ctx, model, x.Where)
 			if err != nil {
 				return res, err
 			}
 			res.Deleted += n
 		case Modify:
-			del, ins, err := e.modify(model, x)
+			del, ins, err := e.modify(ctx, model, x)
 			if err != nil {
 				return res, err
 			}
@@ -475,7 +571,7 @@ func (e *Engine) Update(model, request string) (UpdateResult, error) {
 // pattern quads for each, and deletes them from every model of the
 // dataset. The pattern must consist of plain triple patterns (optionally
 // under GRAPH).
-func (e *Engine) deleteWhere(model string, g *GroupGraphPattern) (int, error) {
+func (e *Engine) deleteWhere(ctx context.Context, model string, g *GroupGraphPattern) (int, error) {
 	c := &compiler{vt: newVarTable(), seq: freshCounter()}
 	pipeline, err := c.group(g)
 	if err != nil {
@@ -490,21 +586,21 @@ func (e *Engine) deleteWhere(model string, g *GroupGraphPattern) (int, error) {
 		}
 		templates = append(templates, bgp.patterns...)
 	}
-	ec, err := e.execCtx(model, c.vt)
+	ec, err := e.execCtxIn(ctx, model, c.vt)
 	if err != nil {
 		return 0, err
 	}
 	src := runPipeline(ec, pipeline, unitSource(len(c.vt.names)))
 	var toDelete []rdf.Quad
-	if err := src(func(b binding) bool {
+	if err := finishGuard(ec, src(func(b binding) bool {
 		for _, tp := range templates {
 			q, ok := instantiate(ec, tp, b)
 			if ok {
 				toDelete = append(toDelete, q)
 			}
 		}
-		return true
-	}); err != nil {
+		return ec.guard.checkRows(len(toDelete))
+	})); err != nil {
 		return 0, err
 	}
 	models, err := e.st.ResolveDataset(model)
@@ -530,7 +626,7 @@ func (e *Engine) deleteWhere(model string, g *GroupGraphPattern) (int, error) {
 // pattern is evaluated against the pre-update state, then all deletes
 // are applied (to every model in the dataset), then all inserts (into
 // the named model).
-func (e *Engine) modify(model string, m Modify) (deleted, inserted int, err error) {
+func (e *Engine) modify(ctx context.Context, model string, m Modify) (deleted, inserted int, err error) {
 	c := &compiler{vt: newVarTable(), seq: freshCounter()}
 	pipeline, err := c.group(m.Where)
 	if err != nil {
@@ -541,7 +637,7 @@ func (e *Engine) modify(model string, m Modify) (deleted, inserted int, err erro
 	if len(c.vt.names) > maxVars {
 		return 0, 0, fmt.Errorf("sparql: update uses more than %d variables", maxVars)
 	}
-	ec, err := e.execCtx(model, c.vt)
+	ec, err := e.execCtxIn(ctx, model, c.vt)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -549,11 +645,11 @@ func (e *Engine) modify(model string, m Modify) (deleted, inserted int, err erro
 	delSeen := make(map[rdf.Quad]struct{})
 	insSeen := make(map[rdf.Quad]struct{})
 	src := runPipeline(ec, pipeline, unitSource(len(c.vt.names)))
-	if err := src(func(b binding) bool {
+	if err := finishGuard(ec, src(func(b binding) bool {
 		instantiateTemplates(ec, delTmpl, b, delSeen, &toDelete)
 		instantiateTemplates(ec, insTmpl, b, insSeen, &toInsert)
-		return true
-	}); err != nil {
+		return ec.guard.checkRows(len(toDelete) + len(toInsert))
+	})); err != nil {
 		return 0, 0, err
 	}
 	models, err := e.st.ResolveDataset(model)

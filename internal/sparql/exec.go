@@ -16,13 +16,26 @@ type execCtx struct {
 	models      map[store.ModelID]struct{} // nil = all models
 	singleModel store.ModelID              // set when the dataset is one model
 	vt          *varTable
-	noHashJoin  bool // force NLJ everywhere (join-strategy ablation)
+	noHashJoin  bool   // force NLJ everywhere (join-strategy ablation)
+	guard       *guard // nil = no cancellation or budget enforcement
 }
 
 func (ec *execCtx) term(id store.ID) rdf.Term { return ec.st.Dict().Term(id) }
 
-// scan runs a store scan restricted to the dataset's models.
+// scan runs a store scan restricted to the dataset's models. Every row
+// produced ticks the query guard, making scans the chokepoint where a
+// runaway query notices cancellation, deadline expiry or budget
+// exhaustion — whichever operator drives them.
 func (ec *execCtx) scan(p store.Pattern, fn func(store.IDQuad) bool) {
+	if g := ec.guard; g != nil {
+		inner := fn
+		fn = func(q store.IDQuad) bool {
+			if !g.tick() {
+				return false
+			}
+			return inner(q)
+		}
+	}
 	if ec.models == nil {
 		ec.st.Scan(p, fn)
 		return
@@ -351,6 +364,11 @@ func (o *bgpOp) apply(ec *execCtx, in source) source {
 			return yield(b)
 		}
 		step = func(depth int, b binding) bool {
+			// Cooperative cancellation: the guard latches its error and
+			// the recursion unwinds; the source reports it on return.
+			if !ec.guard.poll() {
+				return false
+			}
 			for _, f := range filterAt[depth] {
 				v, err := evalBool(ec, f.cond, b)
 				if err != nil || !v {
@@ -413,6 +431,12 @@ func (o *bgpOp) apply(ec *execCtx, in source) source {
 					if !rp.bindQuad(b, q, &undos[depth]) {
 						continue
 					}
+					// Probed rows bypass ec.scan, so they tick the
+					// guard here to stay inside the bindings budget.
+					if !ec.guard.tick() {
+						undos[depth].revert(b)
+						return false
+					}
 					// Re-check non-key bound positions (vars bound after
 					// the table was built are validated by bindQuad).
 					cont := step(depth+1, b)
@@ -445,9 +469,13 @@ func (o *bgpOp) apply(ec *execCtx, in source) source {
 			return !stopped
 		}
 
-		return in(func(b binding) bool {
+		err := in(func(b binding) bool {
 			return step(0, b)
 		})
+		if err == nil && ec.guard != nil {
+			err = ec.guard.Err()
+		}
+		return err
 	}
 }
 
@@ -800,7 +828,7 @@ func (o *subselectOp) apply(ec *execCtx, in source) source {
 	return func(yield func(binding) bool) error {
 		// Evaluate the sub-select once, independently (SPARQL bottom-up
 		// semantics), then join with the input stream.
-		subCtx := &execCtx{st: ec.st, models: ec.models, singleModel: ec.singleModel, vt: o.plan.vt, noHashJoin: ec.noHashJoin}
+		subCtx := &execCtx{st: ec.st, models: ec.models, singleModel: ec.singleModel, vt: o.plan.vt, noHashJoin: ec.noHashJoin, guard: ec.guard}
 		rows, err := evalSelect(subCtx, o.plan)
 		if err != nil {
 			return err
@@ -891,10 +919,16 @@ func evalSelect(ec *execCtx, cp *compiled) ([][]rdf.Term, error) {
 		if cp.limit >= 0 && len(cp.orderBy) == 0 && !cp.distinct && !hasProjExprs(cp) {
 			budget = cp.offset + cp.limit
 		}
-		if err := src(func(b binding) bool {
+		if err := finishGuard(ec, src(func(b binding) bool {
 			solutions = append(solutions, b.clone())
+			// MaxRows bounds what the query may materialize, before
+			// DISTINCT or OFFSET/LIMIT shrink it — it is a resource
+			// cap, not a result-shaping knob.
+			if !ec.guard.checkRows(len(solutions)) {
+				return false
+			}
 			return budget < 0 || len(solutions) < budget
-		}); err != nil {
+		})); err != nil {
 			return nil, err
 		}
 	}
@@ -1077,13 +1111,16 @@ func groupSolutions(ec *execCtx, cp *compiled, src source) ([]binding, error) {
 		order = append(order, "")
 	}
 
-	if err := src(func(b binding) bool {
+	if err := finishGuard(ec, src(func(b binding) bool {
 		gd := single
 		if gd == nil {
 			key := keyOf(b)
 			var ok bool
 			gd, ok = groups[key]
 			if !ok {
+				if !ec.guard.checkRows(len(groups) + 1) {
+					return false
+				}
 				gd = newGroup(b)
 				groups[key] = gd
 				order = append(order, key)
@@ -1125,7 +1162,7 @@ func groupSolutions(ec *execCtx, cp *compiled, src source) ([]binding, error) {
 			accumulate(st, agg, val)
 		}
 		return true
-	}); err != nil {
+	})); err != nil {
 		return nil, err
 	}
 

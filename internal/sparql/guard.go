@@ -1,0 +1,182 @@
+package sparql
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+)
+
+// Error kinds distinguishing why a query was aborted. Test with
+// errors.Is against the error returned by the engine.
+var (
+	// ErrTimeout: the context deadline (or Budget.Timeout) expired.
+	ErrTimeout = errors.New("query deadline exceeded")
+	// ErrBudgetExceeded: the query consumed more rows or intermediate
+	// bindings than its budget allows.
+	ErrBudgetExceeded = errors.New("query resource budget exceeded")
+	// ErrCanceled: the context was canceled by the caller.
+	ErrCanceled = errors.New("query canceled")
+	// ErrInternal: the executor recovered from an internal panic.
+	ErrInternal = errors.New("internal query error")
+)
+
+// QueryError is the structured error the engine returns when a query is
+// stopped by a guardrail or an internal failure. Kind is one of the
+// sentinel errors above and is exposed through errors.Is/Unwrap.
+type QueryError struct {
+	Kind error
+	Msg  string
+	// Stack holds the recovered goroutine stack when Kind is
+	// ErrInternal (panic recovery); empty otherwise.
+	Stack string
+}
+
+func (e *QueryError) Error() string {
+	if e.Msg == "" {
+		return "sparql: " + e.Kind.Error()
+	}
+	return "sparql: " + e.Msg
+}
+
+func (e *QueryError) Unwrap() error { return e.Kind }
+
+// Budget bounds the resources one query may consume. The zero value
+// imposes no limits.
+type Budget struct {
+	// Timeout is the wall-clock deadline applied to every query that
+	// does not already carry an earlier context deadline. 0 = none.
+	Timeout time.Duration
+	// MaxRows caps the number of solution rows a query may materialize
+	// (result rows for SELECT, groups for aggregation, quads for
+	// CONSTRUCT/DESCRIBE). 0 = unlimited.
+	MaxRows int
+	// MaxBindings caps the number of intermediate bindings produced by
+	// index scans while evaluating the query — the knob that stops a
+	// runaway cross join long before it materializes results.
+	// 0 = unlimited.
+	MaxBindings int
+}
+
+// guardPollInterval is how many guard events pass between checks of the
+// context's done channel, keeping the hot loop at one counter increment
+// per row in the common case.
+const guardPollInterval = 256
+
+// guard enforces a Budget cooperatively during execution. Scans tick it
+// once per row produced; the property-path BFS and the join recursion
+// poll it between expansion steps. The first violation latches into err
+// and every later tick/poll fails fast, so the pipeline unwinds
+// promptly. A nil *guard is inert.
+type guard struct {
+	ctx         context.Context
+	maxBindings int
+	maxRows     int
+	bindings    int
+	polls       int
+	err         error
+}
+
+// newGuard returns nil (no overhead) when the context can never fire
+// and the budget imposes no limits.
+func newGuard(ctx context.Context, b Budget) *guard {
+	if ctx.Done() == nil && b.MaxBindings <= 0 && b.MaxRows <= 0 {
+		return nil
+	}
+	return &guard{ctx: ctx, maxBindings: b.MaxBindings, maxRows: b.MaxRows}
+}
+
+// tick records one intermediate binding and occasionally polls the
+// context. It reports false when the query must stop.
+func (g *guard) tick() bool {
+	if g == nil {
+		return true
+	}
+	if g.err != nil {
+		return false
+	}
+	g.bindings++
+	if g.maxBindings > 0 && g.bindings > g.maxBindings {
+		g.err = &QueryError{Kind: ErrBudgetExceeded,
+			Msg: fmt.Sprintf("query exceeded the budget of %d intermediate bindings", g.maxBindings)}
+		return false
+	}
+	return g.poll()
+}
+
+// poll checks the context every guardPollInterval calls. It reports
+// false when the query must stop.
+func (g *guard) poll() bool {
+	if g == nil {
+		return true
+	}
+	if g.err != nil {
+		return false
+	}
+	g.polls++
+	if g.polls < guardPollInterval {
+		return true
+	}
+	g.polls = 0
+	select {
+	case <-g.ctx.Done():
+		g.err = ctxQueryError(g.ctx.Err())
+		return false
+	default:
+		return true
+	}
+}
+
+// Err returns the latched violation, if any.
+func (g *guard) Err() error {
+	if g == nil {
+		return nil
+	}
+	return g.err
+}
+
+// checkRows enforces MaxRows against a materialized row count.
+func (g *guard) checkRows(n int) bool {
+	if g == nil || g.maxRows <= 0 || n <= g.maxRows {
+		return g.Err() == nil
+	}
+	if g.err == nil {
+		g.err = &QueryError{Kind: ErrBudgetExceeded,
+			Msg: fmt.Sprintf("query exceeded the budget of %d result rows", g.maxRows)}
+	}
+	return false
+}
+
+func ctxQueryError(err error) *QueryError {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return &QueryError{Kind: ErrTimeout}
+	}
+	return &QueryError{Kind: ErrCanceled}
+}
+
+// recoverQueryPanic converts an executor panic into a structured
+// *QueryError with kind ErrInternal, preserving the stack for
+// diagnostics. Deferred by every exported execution entry point so a
+// malformed plan or injected fault degrades into an error, not a crash.
+func recoverQueryPanic(err *error) {
+	if r := recover(); r != nil {
+		*err = &QueryError{
+			Kind:  ErrInternal,
+			Msg:   fmt.Sprintf("internal error: %v", r),
+			Stack: string(debug.Stack()),
+		}
+	}
+}
+
+// finishGuard resolves the final error of an execution: an explicit
+// pipeline error wins, then a latched guard violation.
+func finishGuard(ec *execCtx, err error) error {
+	if err != nil {
+		return err
+	}
+	if ec != nil && ec.guard != nil {
+		return ec.guard.Err()
+	}
+	return nil
+}

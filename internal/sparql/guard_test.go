@@ -1,0 +1,289 @@
+package sparql
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// egoNetStore builds a dense random follows-graph — the EQ-style
+// traversal substrate — with nodes*degree edges.
+func egoNetStore(t testing.TB, nodes, degree int) *store.Store {
+	t.Helper()
+	st := store.New()
+	follows := rdf.NewIRI("http://pg/r/follows")
+	rng := rand.New(rand.NewSource(42))
+	quads := make([]rdf.Quad, 0, nodes*degree)
+	for i := 0; i < nodes; i++ {
+		s := rdf.NewIRI(fmt.Sprintf("http://pg/v%d", i))
+		for d := 0; d < degree; d++ {
+			o := rdf.NewIRI(fmt.Sprintf("http://pg/v%d", rng.Intn(nodes)))
+			quads = append(quads, rdf.Quad{S: s, P: follows, O: o})
+		}
+	}
+	if _, err := st.Load("net", quads); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// crossJoin is a deliberately unbounded product over disjoint variables.
+const crossJoin = `SELECT * WHERE { ?a ?p ?b . ?c ?q ?d . ?e ?r ?f }`
+
+// TestDeadlineStopsCrossJoin is the acceptance scenario: an unbounded
+// cross join with a 100ms deadline must return ErrTimeout well under 1s.
+func TestDeadlineStopsCrossJoin(t *testing.T) {
+	st := egoNetStore(t, 500, 8) // 4000 quads -> 4000^3 product rows
+	e := NewEngine(st)
+	e.Limits = Budget{Timeout: 100 * time.Millisecond}
+	start := time.Now()
+	_, err := e.QueryContext(context.Background(), "", crossJoin)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	var qe *QueryError
+	if !errors.As(err, &qe) {
+		t.Fatalf("err %T is not *QueryError", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("query took %v, want well under 1s", elapsed)
+	}
+}
+
+// TestCancellationMidHashJoin cancels a running query after the join has
+// switched to hash-join mode (input cardinality beyond hashJoinMinInput)
+// and checks it stops promptly with ErrCanceled.
+func TestCancellationMidHashJoin(t *testing.T) {
+	st := egoNetStore(t, 2000, 4) // 8000 quads per scan, >> hashJoinMinInput
+	e := NewEngine(st)
+	ctx, cancel := context.WithCancel(context.Background())
+	fi := store.NewFaultInjector()
+	// Slow every scanned row slightly so the cross join is guaranteed to
+	// outlive the cancellation no matter how fast the machine is.
+	fi.StallScans(64, 50*time.Microsecond)
+	st.SetFaultInjector(fi)
+	defer st.SetFaultInjector(nil)
+
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := e.QueryContext(ctx, "", `SELECT * WHERE { ?a ?p ?b . ?c ?q ?d }`)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the join get going
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("err = %v, want ErrCanceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("query did not stop after cancellation")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+// TestDeadlineInsidePropertyPath expires a deadline during a multi-hop
+// property-path BFS (a 5-hop EQ-style traversal over the ego-net), with
+// fault-injected scan latency making the traversal deterministically
+// slower than the deadline.
+func TestDeadlineInsidePropertyPath(t *testing.T) {
+	st := egoNetStore(t, 1500, 6)
+	fi := store.NewFaultInjector()
+	fi.StallScans(32, 100*time.Microsecond)
+	st.SetFaultInjector(fi)
+	defer st.SetFaultInjector(nil)
+
+	e := NewEngine(st)
+	e.Limits = Budget{Timeout: 30 * time.Millisecond}
+	q := `SELECT (COUNT(?x) AS ?n) WHERE {
+		<http://pg/v0> <http://pg/r/follows>/<http://pg/r/follows>/<http://pg/r/follows>/<http://pg/r/follows>/<http://pg/r/follows>* ?x }`
+	start := time.Now()
+	_, err := e.QueryContext(context.Background(), "", q)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("path query took %v after a 30ms deadline", elapsed)
+	}
+}
+
+// TestMaxBindingsBudget stops the cross join on intermediate bindings
+// alone — fully deterministic, no clock involved.
+func TestMaxBindingsBudget(t *testing.T) {
+	st := egoNetStore(t, 200, 5)
+	e := NewEngine(st)
+	e.Limits = Budget{MaxBindings: 10_000}
+	_, err := e.Query("", crossJoin)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+// TestMaxRowsBudget bounds materialized solution rows.
+func TestMaxRowsBudget(t *testing.T) {
+	st := egoNetStore(t, 100, 4)
+	e := NewEngine(st)
+	e.Limits = Budget{MaxRows: 50}
+	_, err := e.Query("", `SELECT ?a ?b WHERE { ?a ?p ?b }`)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	// Under the cap, the query succeeds unchanged.
+	e.Limits = Budget{MaxRows: 50}
+	res, err := e.Query("", `SELECT ?a ?b WHERE { ?a ?p ?b } LIMIT 10`)
+	if err != nil || res.Len() != 10 {
+		t.Fatalf("LIMIT 10 under budget: res=%v err=%v", res, err)
+	}
+}
+
+// TestMaxRowsBudgetGroups caps the number of aggregation groups.
+func TestMaxRowsBudgetGroups(t *testing.T) {
+	st := egoNetStore(t, 300, 3)
+	e := NewEngine(st)
+	e.Limits = Budget{MaxRows: 20}
+	_, err := e.Query("", `SELECT ?a (COUNT(?b) AS ?n) WHERE { ?a ?p ?b } GROUP BY ?a`)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("grouped err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+// TestBudgetAppliesToAskConstructDescribeUpdate exercises the guard on
+// every query form, not just SELECT.
+func TestBudgetAppliesToAskConstructDescribeUpdate(t *testing.T) {
+	st := egoNetStore(t, 300, 5)
+	e := NewEngine(st)
+	e.Limits = Budget{MaxBindings: 500}
+
+	if _, err := e.Construct("", `CONSTRUCT { ?a <http://x> ?d } WHERE { ?a ?p ?b . ?c ?q ?d }`); !errors.Is(err, ErrBudgetExceeded) {
+		t.Errorf("Construct err = %v, want ErrBudgetExceeded", err)
+	}
+	if _, err := e.Describe("", `DESCRIBE ?a WHERE { ?a ?p ?b . ?c ?q ?d }`); !errors.Is(err, ErrBudgetExceeded) {
+		t.Errorf("Describe err = %v, want ErrBudgetExceeded", err)
+	}
+	if _, err := e.Update("net", `DELETE { ?a <http://x> ?d } INSERT { ?a <http://y> ?d } WHERE { ?a ?p ?b . ?c ?q ?d }`); !errors.Is(err, ErrBudgetExceeded) {
+		t.Errorf("Update err = %v, want ErrBudgetExceeded", err)
+	}
+	// ASK finds its first row long before the budget and succeeds.
+	if ok, err := e.Ask("", `ASK { ?a ?p ?b }`); err != nil || !ok {
+		t.Errorf("Ask = %v, %v", ok, err)
+	}
+}
+
+// TestCanceledContextFailsFast: an already-canceled context aborts the
+// query on its first guard poll.
+func TestCanceledContextFailsFast(t *testing.T) {
+	st := egoNetStore(t, 500, 5)
+	e := NewEngine(st)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := e.QueryContext(ctx, "", crossJoin)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestPanicRecovery: an injected scan fault panics inside the executor;
+// the engine must surface a structured QueryError with kind ErrInternal
+// instead of crashing, and must stay usable afterwards.
+func TestPanicRecovery(t *testing.T) {
+	st := egoNetStore(t, 100, 4)
+	e := NewEngine(st)
+	fi := store.NewFaultInjector()
+	fi.FailScansAfter(50)
+	st.SetFaultInjector(fi)
+	_, err := e.Query("", `SELECT ?a WHERE { ?a ?p ?b }`)
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("err = %v, want ErrInternal", err)
+	}
+	var qe *QueryError
+	if !errors.As(err, &qe) || qe.Stack == "" {
+		t.Fatalf("expected *QueryError with a stack, got %#v", err)
+	}
+	// Clearing the fault restores normal service.
+	st.SetFaultInjector(nil)
+	if _, err := e.Query("", `SELECT ?a WHERE { ?a ?p ?b } LIMIT 1`); err != nil {
+		t.Fatalf("engine unusable after recovered panic: %v", err)
+	}
+}
+
+// TestUpdateContextCancel cancels a bulk INSERT DATA mid-request.
+func TestUpdateContextCancel(t *testing.T) {
+	st := store.New()
+	e := NewEngine(st)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var sb []byte
+	sb = append(sb, "INSERT DATA { "...)
+	for i := 0; i < 3000; i++ {
+		sb = append(sb, fmt.Sprintf("<http://s%d> <http://p> <http://o> . ", i)...)
+	}
+	sb = append(sb, '}')
+	_, err := e.UpdateContext(ctx, "m", string(sb))
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if n := st.Len(); n >= 3000 {
+		t.Fatalf("insert was not interrupted: %d quads landed", n)
+	}
+}
+
+// TestMaxPatternsRejected: the compiler bounds pattern-count blowup.
+func TestMaxPatternsRejected(t *testing.T) {
+	var sb []byte
+	sb = append(sb, "SELECT * WHERE { "...)
+	for i := 0; i <= maxPatterns; i++ {
+		sb = append(sb, "?a <http://p> ?a . "...)
+	}
+	sb = append(sb, '}')
+	st := store.New()
+	if _, err := NewEngine(st).Query("", string(sb)); err == nil {
+		t.Fatal("query with too many patterns should be rejected")
+	}
+}
+
+// TestGuardZeroOverheadPath: with no limits and a Background context the
+// engine must not allocate a guard (nil fast path).
+func TestGuardZeroOverheadPath(t *testing.T) {
+	if g := newGuard(context.Background(), Budget{}); g != nil {
+		t.Fatal("expected nil guard for Background ctx and zero budget")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if g := newGuard(ctx, Budget{}); g == nil {
+		t.Fatal("expected live guard for cancelable ctx")
+	}
+}
+
+// BenchmarkGuardOverhead compares a 2-hop join with and without an
+// active guard, documenting the cost of per-row ticking.
+func BenchmarkGuardOverhead(b *testing.B) {
+	st := egoNetStore(b, 1000, 8)
+	q := `SELECT (COUNT(?c) AS ?n) WHERE { <http://pg/v0> <http://pg/r/follows> ?b . ?b <http://pg/r/follows> ?c }`
+	b.Run("unguarded", func(b *testing.B) {
+		e := NewEngine(st)
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Query("", q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("guarded", func(b *testing.B) {
+		e := NewEngine(st)
+		e.Limits = Budget{Timeout: time.Hour, MaxBindings: 1 << 40}
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Query("", q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -126,6 +126,12 @@ func (o *pathOp) closure(ec *execCtx, b binding, start store.ID, reverse bool) (
 		}
 		var next []store.ID
 		for _, node := range frontier {
+			// Cooperative cancellation between node expansions: a
+			// multi-hop traversal over a dense graph can spend its
+			// whole life inside this loop.
+			if !ec.guard.poll() {
+				return nil, ec.guard.Err()
+			}
 			succ, err := o.step(ec, b, o.inner, node, reverse)
 			if err != nil {
 				return nil, err

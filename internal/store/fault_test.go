@@ -1,0 +1,113 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/rdf"
+)
+
+func faultTestStore(t *testing.T, n int) *Store {
+	t.Helper()
+	st := New()
+	quads := make([]rdf.Quad, 0, n)
+	for i := 0; i < n; i++ {
+		quads = append(quads, rdf.Quad{
+			S: rdf.NewIRI(fmt.Sprintf("http://s%d", i)),
+			P: rdf.NewIRI("http://p"),
+			O: rdf.NewIRI(fmt.Sprintf("http://o%d", i%7)),
+		})
+	}
+	if _, err := st.Load("m", quads); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func countScan(st *Store) int {
+	n := 0
+	st.Scan(AnyPattern(), func(IDQuad) bool { n++; return true })
+	return n
+}
+
+func TestFaultInjectorStallsScans(t *testing.T) {
+	st := faultTestStore(t, 200)
+	fi := NewFaultInjector()
+	st.SetFaultInjector(fi)
+	defer st.SetFaultInjector(nil)
+
+	// 200 rows, stall every 10th by 1ms -> at least ~20ms.
+	fi.StallScans(10, time.Millisecond)
+	start := time.Now()
+	if n := countScan(st); n != 200 {
+		t.Fatalf("scan saw %d rows", n)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("injected latency not observed: scan took %v", elapsed)
+	}
+	if fi.Scanned() != 200 {
+		t.Fatalf("Scanned() = %d", fi.Scanned())
+	}
+
+	// Reset disables the stall: the same scan is fast again.
+	fi.Reset()
+	start = time.Now()
+	countScan(st)
+	if elapsed := time.Since(start); elapsed > 10*time.Millisecond {
+		t.Fatalf("scan still slow after Reset: %v", elapsed)
+	}
+}
+
+func TestFaultInjectorForcedFailure(t *testing.T) {
+	st := faultTestStore(t, 100)
+	fi := NewFaultInjector()
+	st.SetFaultInjector(fi)
+	defer st.SetFaultInjector(nil)
+	fi.FailScansAfter(10)
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected an injected panic")
+		}
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrInjectedFault) {
+			t.Fatalf("panic value %v does not match ErrInjectedFault", r)
+		}
+	}()
+	countScan(st)
+}
+
+// TestFaultInjectorConcurrent flips faults while readers scan, verifying
+// the atomics hold up under -race.
+func TestFaultInjectorConcurrent(t *testing.T) {
+	st := faultTestStore(t, 500)
+	fi := NewFaultInjector()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					countScan(st)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		st.SetFaultInjector(fi)
+		fi.StallScans(100, 10*time.Microsecond)
+		fi.Reset()
+		st.SetFaultInjector(nil)
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/rdf"
 )
@@ -36,6 +37,10 @@ type Store struct {
 	deltaSet map[IDQuad]struct{} // membership for delta
 	dead     map[IDQuad]struct{} // tombstones for base rows
 	count    int                 // live quads = base + delta - dead
+
+	// fault optionally perturbs scans for degradation testing; nil in
+	// production. See FaultInjector.
+	fault atomic.Pointer[FaultInjector]
 }
 
 // DefaultIndexes are the two indexes Oracle creates on every semantic
@@ -478,6 +483,7 @@ func (s *Store) Scan(p Pattern, fn func(IDQuad) bool) {
 }
 
 func (s *Store) scanLocked(p Pattern, fn func(IDQuad) bool) {
+	fn = s.faultWrap(fn)
 	ix := s.chooseIndexLocked(p)
 	stopped := false
 	ix.Scan(p, func(q IDQuad) bool {
@@ -509,6 +515,7 @@ func (s *Store) ScanIndex(spec string, p Pattern, fn func(IDQuad) bool) error {
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	fn = s.faultWrap(fn)
 	for _, ix := range s.indexes {
 		if ix.perm == perm {
 			ix.Scan(p, func(q IDQuad) bool {
