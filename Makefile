@@ -1,12 +1,19 @@
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: check vet build test race bench
+.PHONY: check vet lint build test race bench fuzz-smoke
 
-## check: the full gate — vet, build, and the race-enabled test suite.
-check: vet build race
+## check: the full gate — vet, build, the pgrdfvet analyzers, and the
+## race-enabled test suite.
+check: vet build lint race
 
 vet:
 	$(GO) vet ./...
+
+## lint: run the repo-specific static analyzers (see DESIGN.md,
+## "Static analysis gate"). Exit code 1 means findings.
+lint:
+	$(GO) run ./cmd/pgrdfvet ./...
 
 build:
 	$(GO) build ./...
@@ -19,3 +26,10 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+## fuzz-smoke: run each parser fuzz target for FUZZTIME (default 30s).
+## Regression seeds always run as part of plain `make test` too.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzReader -fuzztime=$(FUZZTIME) ./internal/ntriples
+	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/turtle
+	$(GO) test -run='^$$' -fuzz=FuzzParseAndExec -fuzztime=$(FUZZTIME) ./internal/sparql

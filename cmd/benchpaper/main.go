@@ -15,9 +15,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/bench"
@@ -30,6 +32,9 @@ func main() {
 	fig := flag.String("fig", "", "run a single figure (4,5,6,7,8,9)")
 	seed := flag.Int64("seed", 0, "override generator seed")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	cfg := twitter.PaperConfig().Scale(*scale)
 	if *seed != 0 {
@@ -47,18 +52,18 @@ func main() {
 
 	switch {
 	case *table != "":
-		run(env, "table"+*table)
+		run(ctx, env, "table"+*table)
 	case *fig != "":
-		run(env, "fig"+*fig)
+		run(ctx, env, "fig"+*fig)
 	default:
-		for _, t := range bench.AllExperiments(env) {
+		for _, t := range bench.AllExperiments(ctx, env) {
 			fmt.Println(t.String())
 		}
 	}
 }
 
-func run(env *bench.Env, id string) {
-	t, err := bench.Experiment(env, id)
+func run(ctx context.Context, env *bench.Env, id string) {
+	t, err := bench.Experiment(ctx, env, id)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchpaper:", err)
 		os.Exit(1)

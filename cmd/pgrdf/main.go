@@ -203,6 +203,8 @@ func loadStore(dataPath, indexes string) (*store.Store, error) {
 }
 
 func runQuery(args []string, explain bool) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	data := fs.String("data", "", "N-Quads data file")
 	queryText := fs.String("q", "", "SPARQL query text (@file to read from a file)")
@@ -233,7 +235,7 @@ func runQuery(args []string, explain bool) error {
 		fmt.Print(plan)
 		return nil
 	}
-	res, err := eng.Query("data", q)
+	res, err := eng.QueryContext(ctx, "data", q)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,89 @@
+// Command pgrdfvet is the repository's static-analysis gate: a
+// multichecker running the internal/analysis suite (ctxflow,
+// errsentinel, guardtick, idsafe, iterclose) over the packages named
+// on the command line.
+//
+// Usage:
+//
+//	go run ./cmd/pgrdfvet ./...
+//	go run ./cmd/pgrdfvet -only idsafe,iterclose ./internal/sparql
+//
+// It prints one line per finding (file:line:col: [analyzer] message)
+// and exits 1 if anything is found, 2 on operational errors. Findings
+// can be suppressed line-by-line with a justified directive:
+//
+//	//pgrdfvet:ignore <analyzer> -- <why this is safe>
+//
+// The directive covers its own line and the line below; a directive
+// without a justification is itself a finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated subset of analyzers to run (default: all)")
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pgrdfvet [-only a,b] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "pgrdfvet: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pgrdfvet: %v\n", err)
+		os.Exit(2)
+	}
+	loader := analysis.NewLoader(cwd)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pgrdfvet: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := analysis.RunAnalyzers(loader.Fset, pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pgrdfvet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "pgrdfvet: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}

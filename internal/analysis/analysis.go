@@ -1,0 +1,231 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check. The shape deliberately mirrors
+// golang.org/x/tools/go/analysis so analyzers port mechanically if the
+// dependency ever becomes available.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	// Path is the import path under analysis. It is distinct from
+	// Pkg.Path() only in tests, where testdata packages can pose as a
+	// repo package to exercise path-scoped analyzers.
+	Path  string
+	Info  *types.Info
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf is a nil-safe Info.TypeOf.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// Finding is a positioned diagnostic, resolved for printing.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// All returns the pgrdfvet analyzer suite.
+func All() []*Analyzer {
+	return []*Analyzer{Ctxflow, Errsentinel, Guardtick, Idsafe, Iterclose}
+}
+
+// ignoreRE matches suppression directives:
+//
+//	//pgrdfvet:ignore <analyzer>[,<analyzer>...] -- <justification>
+//
+// The directive applies to its own line and to the line directly below
+// (so it can sit above a long statement). A justification is mandatory;
+// a bare directive is itself reported.
+var ignoreRE = regexp.MustCompile(`^//pgrdfvet:ignore\s+([a-z0-9_,\s]+?)\s*(?:--\s*(\S.*))?$`)
+
+type ignoreKey struct {
+	file string
+	line int
+}
+
+// ignoreIndex maps (file, line) to the analyzer names suppressed there.
+type ignoreIndex map[ignoreKey]map[string]bool
+
+// buildIgnoreIndex scans a package's comments for directives. Malformed
+// directives (no justification) are returned as findings so the gate
+// cannot be waved through silently.
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) (ignoreIndex, []Finding) {
+	idx := make(ignoreIndex)
+	var bad []Finding
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.HasPrefix(c.Text, "//pgrdfvet:") {
+						bad = append(bad, Finding{
+							Analyzer: "pgrdfvet",
+							Pos:      fset.Position(c.Pos()),
+							Message:  "malformed pgrdfvet directive (want //pgrdfvet:ignore <analyzer> -- <why>)",
+						})
+					}
+					continue
+				}
+				if m[2] == "" {
+					bad = append(bad, Finding{
+						Analyzer: "pgrdfvet",
+						Pos:      fset.Position(c.Pos()),
+						Message:  "pgrdfvet:ignore needs a justification: `//pgrdfvet:ignore " + strings.TrimSpace(m[1]) + " -- <why>`",
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, name := range strings.Split(m[1], ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						k := ignoreKey{file: pos.Filename, line: line}
+						if idx[k] == nil {
+							idx[k] = make(map[string]bool)
+						}
+						idx[k][name] = true
+					}
+				}
+			}
+		}
+	}
+	return idx, bad
+}
+
+func (idx ignoreIndex) suppressed(analyzer string, pos token.Position) bool {
+	set := idx[ignoreKey{file: pos.Filename, line: pos.Line}]
+	return set[analyzer] || set["all"]
+}
+
+// RunAnalyzers applies each analyzer to each package and returns the
+// surviving findings sorted by position. The fset must be the one the
+// packages were parsed with.
+func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		idx, bad := buildIgnoreIndex(fset, pkg.Files)
+		findings = append(findings, bad...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Path:     pkg.ImportPath,
+				Info:     pkg.Info,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+			for _, d := range pass.diags {
+				pos := fset.Position(d.Pos)
+				if idx.suppressed(a.Name, pos) {
+					continue
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, nil
+}
+
+// --- shared type helpers used by several analyzers ---
+
+// isNamedType reports whether t (after pointer indirection) is the
+// named type pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// methodCall resolves a call of the form x.Sel(...) to the method's
+// receiver type and name; ok is false for anything else (including
+// package-qualified function calls).
+func methodCall(info *types.Info, call *ast.CallExpr) (recv types.Type, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	selection, isMethod := info.Selections[sel]
+	if !isMethod || selection.Kind() != types.MethodVal {
+		return nil, "", false
+	}
+	return selection.Recv(), sel.Sel.Name, true
+}
+
+// calleeFunc resolves a call to the *types.Func it invokes (method or
+// package-level function), or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// outermostFunc returns the top-level FuncDecl containing pos, or nil.
+func outermostFunc(file *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos <= fd.End() {
+			return fd
+		}
+	}
+	return nil
+}

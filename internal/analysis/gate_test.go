@@ -1,0 +1,28 @@
+package analysis
+
+import "testing"
+
+// TestRepoPassesGate runs the full pgrdfvet suite over the whole
+// module from inside the regular test suite, so `go test ./...` fails
+// the moment a change reintroduces a banned pattern — no separate CI
+// step required for the invariant to hold.
+func TestRepoPassesGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module analysis in -short mode")
+	}
+	loader, err := testLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := RunAnalyzers(loader.Fset, pkgs, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

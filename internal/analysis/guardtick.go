@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Guardtick keeps the budget guard wired to every row source inside
+// the query engine. The PR-1 guardrails only work because scans are
+// the chokepoint: each row produced ticks the guard, which is how a
+// runaway query notices cancellation, deadline expiry, and budget
+// exhaustion. A new operator that scans the store directly — without
+// ticking — reopens the exact hole the guard closed: rows flow with
+// no cancellation point and MaxBindings stops counting them.
+//
+// Rule, scoped to repro/internal/sparql: any call to a raw store row
+// source — (*store.Store).Scan / ScanIndex / Cursor or
+// (*store.Index).Scan — must sit in a top-level function that also
+// ticks the guard (a call to guard.tick, guard.poll, or
+// guard.checkRows somewhere in the same function, typically inside
+// the scan callback). Routing through (*execCtx).scan satisfies this
+// by construction and is the preferred fix.
+var Guardtick = &Analyzer{
+	Name: "guardtick",
+	Doc:  "store scans inside internal/sparql must tick the query budget guard",
+	Run:  runGuardtick,
+}
+
+// rawScanMethods are the store row sources that bypass (*execCtx).scan.
+var rawScanMethods = map[string]map[string]bool{
+	"Store": {"Scan": true, "ScanIndex": true, "Cursor": true},
+	"Index": {"Scan": true},
+}
+
+// guardMethods are the calls that count as "the guard is consulted".
+var guardMethods = map[string]bool{"tick": true, "poll": true, "checkRows": true}
+
+func runGuardtick(pass *Pass) error {
+	if pass.Path != sparqlPkg {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			recv, name, ok := methodCall(pass.Info, call)
+			if !ok || !isRawScan(recv, name) {
+				return true
+			}
+			fd := outermostFunc(file, call.Pos())
+			if fd == nil || !ticksGuard(pass, fd) {
+				pass.Reportf(call.Pos(),
+					"store scan without a budget-guard tick; route it through (*execCtx).scan or tick the guard per row")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isRawScan(recv types.Type, name string) bool {
+	for typeName, methods := range rawScanMethods {
+		if methods[name] && isNamedType(recv, storePkg, typeName) {
+			return true
+		}
+	}
+	return false
+}
+
+// ticksGuard reports whether fd contains a call to one of the guard
+// methods on the package's own guard type, anywhere in its body
+// (including nested function literals such as scan callbacks).
+func ticksGuard(pass *Pass, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, name, ok := methodCall(pass.Info, call)
+		if !ok || !guardMethods[name] {
+			return true
+		}
+		t := recv
+		if ptr, isPtr := t.(*types.Pointer); isPtr {
+			t = ptr.Elem()
+		}
+		if named, isNamed := t.(*types.Named); isNamed {
+			obj := named.Obj()
+			if obj != nil && obj.Pkg() == pass.Pkg && obj.Name() == "guard" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Idsafe protects the opacity of dictionary IDs outside the store.
+//
+// The RF/NG/SP schemes stay interchangeable only because every layer
+// above the store treats a store.ID as an opaque token: the same term
+// gets the same ID under every scheme, and nothing else about the
+// numeric value is contract. Arithmetic on IDs, ordering IDs, or
+// fabricating an ID from an integer all bake the dictionary's current
+// assignment order into query results — the bug class that makes one
+// scheme return different rows than another with no test failing until
+// the insert order changes.
+//
+// Outside repro/internal/store (which owns the representation), Idsafe
+// forbids:
+//   - arithmetic and bitwise binary ops where either operand is store.ID
+//   - order comparisons (< <= > >=) between IDs
+//   - compound assignment (+=, ...) and ++/-- on an ID lvalue
+//   - conversions store.ID(x) from non-constant expressions
+//
+// Equality against other IDs (and the NoID / Any sentinels) stays
+// legal: identity is exactly the contract IDs offer.
+var Idsafe = &Analyzer{
+	Name: "idsafe",
+	Doc:  "dictionary IDs are opaque outside internal/store: no arithmetic, ordering, or fabrication",
+	Run:  runIdsafe,
+}
+
+const storePkg = "repro/internal/store"
+
+func isStoreID(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	return t != nil && isNamedType(t, storePkg, "ID")
+}
+
+var arithOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true, token.QUO: true,
+	token.REM: true, token.AND: true, token.OR: true, token.XOR: true,
+	token.SHL: true, token.SHR: true, token.AND_NOT: true,
+}
+
+var orderOps = map[token.Token]bool{
+	token.LSS: true, token.LEQ: true, token.GTR: true, token.GEQ: true,
+}
+
+var arithAssignOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true, token.MUL_ASSIGN: true,
+	token.QUO_ASSIGN: true, token.REM_ASSIGN: true, token.AND_ASSIGN: true,
+	token.OR_ASSIGN: true, token.XOR_ASSIGN: true, token.SHL_ASSIGN: true,
+	token.SHR_ASSIGN: true, token.AND_NOT_ASSIGN: true,
+}
+
+func runIdsafe(pass *Pass) error {
+	if pass.Path == storePkg {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				// Whole-expression constants (e.g. ^ID(0) spelled in a
+				// const block) carry no runtime ID and are fine.
+				if tv, ok := pass.Info.Types[n]; ok && tv.Value != nil {
+					return true
+				}
+				if arithOps[n.Op] && (isStoreID(pass, n.X) || isStoreID(pass, n.Y)) {
+					pass.Reportf(n.Pos(),
+						"arithmetic (%s) on a store.ID; IDs are opaque dictionary tokens — derive values from terms, not IDs", n.Op)
+				}
+				if orderOps[n.Op] && (isStoreID(pass, n.X) || isStoreID(pass, n.Y)) {
+					pass.Reportf(n.Pos(),
+						"ordering store.IDs with %s; ID order is dictionary insertion order, not term order — compare terms instead", n.Op)
+				}
+			case *ast.AssignStmt:
+				if !arithAssignOps[n.Tok] {
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					if isStoreID(pass, lhs) {
+						pass.Reportf(n.Pos(), "compound arithmetic assignment (%s) on a store.ID", n.Tok)
+					}
+				}
+			case *ast.IncDecStmt:
+				if isStoreID(pass, n.X) {
+					pass.Reportf(n.Pos(), "%s on a store.ID; IDs are assigned only by the dictionary", n.Tok)
+				}
+			case *ast.CallExpr:
+				// A conversion store.ID(x): the Fun position holds a type.
+				tv, ok := pass.Info.Types[n.Fun]
+				if !ok || !tv.IsType() || !isNamedType(tv.Type, storePkg, "ID") || len(n.Args) != 1 {
+					return true
+				}
+				if argTV, ok := pass.Info.Types[n.Args[0]]; ok && argTV.Value == nil && !isStoreID(pass, n.Args[0]) {
+					pass.Reportf(n.Pos(),
+						"store.ID fabricated from a non-constant integer; only the dictionary issues IDs (use Dict().Intern or Lookup)")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

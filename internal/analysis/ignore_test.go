@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func buildFromSrc(t *testing.T, src string) (*token.FileSet, ignoreIndex, []Finding) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, bad := buildIgnoreIndex(fset, []*ast.File{f})
+	return fset, idx, bad
+}
+
+func TestIgnoreDirectiveWithReason(t *testing.T) {
+	_, idx, bad := buildFromSrc(t, `package p
+
+//pgrdfvet:ignore idsafe -- hashing keeps equal IDs together
+var a = 1
+
+//pgrdfvet:ignore idsafe, iterclose -- two analyzers, one reason
+var b = 2
+`)
+	if len(bad) != 0 {
+		t.Fatalf("well-formed directives reported as bad: %v", bad)
+	}
+	// The directive covers its own line (3) and the next line (4).
+	for _, line := range []int{3, 4} {
+		if !idx.suppressed("idsafe", token.Position{Filename: "x.go", Line: line}) {
+			t.Errorf("idsafe not suppressed on line %d", line)
+		}
+	}
+	if idx.suppressed("idsafe", token.Position{Filename: "x.go", Line: 5}) {
+		t.Error("suppression leaked past the directive's scope")
+	}
+	if idx.suppressed("ctxflow", token.Position{Filename: "x.go", Line: 3}) {
+		t.Error("directive suppressed an analyzer it does not name")
+	}
+	// Multi-analyzer directive covers both names on line 6/7.
+	for _, name := range []string{"idsafe", "iterclose"} {
+		if !idx.suppressed(name, token.Position{Filename: "x.go", Line: 7}) {
+			t.Errorf("%s not suppressed by the comma-separated directive", name)
+		}
+	}
+}
+
+func TestIgnoreDirectiveWithoutReasonIsReported(t *testing.T) {
+	_, idx, bad := buildFromSrc(t, `package p
+
+//pgrdfvet:ignore idsafe
+var a = 1
+`)
+	if len(bad) != 1 || !strings.Contains(bad[0].Message, "needs a justification") {
+		t.Fatalf("bare directive not reported, got %v", bad)
+	}
+	if idx.suppressed("idsafe", token.Position{Filename: "x.go", Line: 4}) {
+		t.Error("a justification-free directive must not suppress anything")
+	}
+}
+
+func TestMalformedDirectiveIsReported(t *testing.T) {
+	_, _, bad := buildFromSrc(t, `package p
+
+//pgrdfvet:silence idsafe -- wrong verb
+var a = 1
+`)
+	if len(bad) != 1 || !strings.Contains(bad[0].Message, "malformed pgrdfvet directive") {
+		t.Fatalf("malformed directive not reported, got %v", bad)
+	}
+}

@@ -1,0 +1,200 @@
+// Package analysis is a self-contained static-analysis framework plus
+// the pgrdfvet analyzer suite for this repository.
+//
+// It mirrors the golang.org/x/tools/go/analysis API surface we need
+// (Analyzer / Pass / Diagnostic, an analysistest-style harness driven
+// by "// want" comments) but is built only on the standard library:
+// packages are enumerated with `go list -export -deps -json` and
+// type-checked with go/types against the gc export data the go command
+// already produces offline, so the suite works without network access
+// or third-party modules.
+//
+// See DESIGN.md "Static analysis gate" for what each analyzer enforces
+// and why it protects the RF/NG/SP scheme-equivalence argument.
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Loader loads and type-checks packages of the repository module. It
+// keeps the shared FileSet and the export-data index so testdata
+// packages can be checked against the real repro/... types.
+type Loader struct {
+	Fset    *token.FileSet
+	dir     string            // module root the go commands run in
+	exports map[string]string // import path -> export data file
+	imp     types.Importer
+}
+
+// listPackage is the subset of `go list -json` output we consume.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// NewLoader prepares a loader rooted at dir (the module root).
+func NewLoader(dir string) *Loader {
+	return &Loader{Fset: token.NewFileSet(), dir: dir}
+}
+
+// goList runs `go list -export -deps -json` for the patterns and
+// decodes the JSON stream.
+func (l *Loader) goList(patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.dir
+	// Cgo files cannot be type-checked from export-free source; the
+	// pure-Go stdlib variants type-check fine and are what -race-free
+	// builds use anyway.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// lookup serves export data to the gc importer.
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	f, ok := l.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("analysis: no export data for %q (is it reachable from the loaded patterns?)", path)
+	}
+	return os.Open(f)
+}
+
+// Load lists the packages matching patterns (plus their dependency
+// export data) and type-checks every non-stdlib, non-dep-only match
+// from source. Results are sorted by import path.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	listed, err := l.goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	if l.exports == nil {
+		l.exports = make(map[string]string)
+	}
+	var targets []*listPackage
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard && !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+	if l.imp == nil {
+		l.imp = importer.ForCompiler(l.Fset, "gc", l.lookup)
+	}
+	var out []*Package
+	for _, p := range targets {
+		var files []string
+		for _, gf := range p.GoFiles {
+			files = append(files, filepath.Join(p.Dir, gf))
+		}
+		pkg, err := l.check(p.ImportPath, p.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// CheckDir parses every non-test .go file directly under dir and
+// type-checks them as a single package under the given import path.
+// It is the entry point the analysistest harness uses for testdata
+// packages, which the go tool itself refuses to list. Imports resolve
+// against export data gathered by previous Load calls, so call
+// Load("./...") first if the testdata imports repro packages.
+func (l *Loader) CheckDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || filepath.Ext(name) != ".go" {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no .go files in %s", dir)
+	}
+	if l.imp == nil {
+		l.imp = importer.ForCompiler(l.Fset, "gc", l.lookup)
+	}
+	return l.check(importPath, dir, files)
+}
+
+// check parses and type-checks one package.
+func (l *Loader) check(importPath, dir string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(l.Fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", fn, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	return &Package{ImportPath: importPath, Dir: dir, Files: files, Types: tpkg, Info: info}, nil
+}

@@ -1,0 +1,52 @@
+// Package errsentineltest exercises the errsentinel analyzer.
+package errsentineltest
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var errAbsent = errors.New("absent")
+
+func bad(err error) int {
+	if err == errAbsent { // want "error compared with ==; use errors.Is"
+		return 1
+	}
+	if err != io.EOF { // want "error compared with !=; use errors.Is"
+		return 2
+	}
+	switch err {
+	case errAbsent: // want "switch on an error value compares with =="
+		return 3
+	}
+	return 0
+}
+
+func good(err error) (int, error) {
+	if err == nil { // nil checks are identity by definition
+		return 0, nil
+	}
+	if errors.Is(err, errAbsent) {
+		return 1, nil
+	}
+	if errors.Is(err, io.EOF) {
+		return 2, nil
+	}
+	var target *fmt.Stringer
+	_ = target
+	switch {
+	case errors.Is(err, errAbsent):
+		return 3, nil
+	}
+	switch err {
+	case nil: // a nil case arm is still a nil check
+		return 4, nil
+	}
+	return 0, fmt.Errorf("wrapped: %w", err)
+}
+
+func suppressed(err error) bool {
+	//pgrdfvet:ignore errsentinel -- interop with a legacy API that documents identity comparison
+	return err == io.EOF
+}

@@ -1,0 +1,94 @@
+// Package guardticktest exercises the guardtick analyzer. It is
+// analyzed under the import path repro/internal/sparql — the only
+// package the analyzer patrols — with a stand-in guard type shaped
+// like the engine's.
+package guardticktest
+
+import "repro/internal/store"
+
+type guard struct{ n int }
+
+func (g *guard) tick() bool          { g.n++; return true }
+func (g *guard) poll() bool          { return true }
+func (g *guard) checkRows(n int) bool { return n >= 0 }
+
+func badDirectScan(st *store.Store, p store.Pattern) int {
+	n := 0
+	st.Scan(p, func(q store.IDQuad) bool { // want "store scan without a budget-guard tick"
+		n++
+		return true
+	})
+	return n
+}
+
+func badForcedIndex(st *store.Store, p store.Pattern) error {
+	return st.ScanIndex("PCSGM", p, func(q store.IDQuad) bool { // want "store scan without a budget-guard tick"
+		return true
+	})
+}
+
+func badCursor(st *store.Store, p store.Pattern) int {
+	c := st.Cursor(p) // want "store scan without a budget-guard tick"
+	defer c.Close()
+	n := 0
+	for {
+		if _, ok := c.Next(); !ok {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+func badIndexScan(ix *store.Index, p store.Pattern) int {
+	n := 0
+	ix.Scan(p, func(q store.IDQuad) bool { // want "store scan without a budget-guard tick"
+		n++
+		return true
+	})
+	return n
+}
+
+func goodTickedScan(g *guard, st *store.Store, p store.Pattern) int {
+	n := 0
+	st.Scan(p, func(q store.IDQuad) bool {
+		if !g.tick() {
+			return false
+		}
+		n++
+		return true
+	})
+	return n
+}
+
+func goodTickedCursor(g *guard, st *store.Store, p store.Pattern) int {
+	c := st.Cursor(p)
+	defer c.Close()
+	n := 0
+	for {
+		q, ok := c.Next()
+		if !ok || !g.tick() {
+			break
+		}
+		_ = q
+		n++
+	}
+	return n
+}
+
+func goodCheckRows(g *guard, st *store.Store, p store.Pattern) []store.IDQuad {
+	var rows []store.IDQuad
+	st.Scan(p, func(q store.IDQuad) bool {
+		rows = append(rows, q)
+		return g.checkRows(len(rows))
+	})
+	return rows
+}
+
+func suppressed(st *store.Store, p store.Pattern) int {
+	// Plan-cardinality estimation runs outside query execution.
+	n := 0
+	//pgrdfvet:ignore guardtick -- planner-side row count, not an execution scan
+	st.Scan(p, func(q store.IDQuad) bool { n++; return true })
+	return n
+}

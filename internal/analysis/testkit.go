@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// This file is the analysistest analogue: RunTest checks an analyzer
+// against a testdata package annotated with golang.org/x/tools-style
+// expectations:
+//
+//	bad()  // want "regexp matching the diagnostic"
+//
+// Every diagnostic must be matched by a want on its line and every
+// want must be matched by a diagnostic; either mismatch fails the
+// test. Multiple wants on one line each consume one diagnostic.
+
+var (
+	sharedOnce   sync.Once
+	sharedLoader *Loader
+	sharedErr    error
+)
+
+// testLoader returns a process-wide loader that has indexed export
+// data for the whole module, so testdata packages can import repro
+// packages. Loading the module once costs a few seconds; every RunTest
+// after that is cheap.
+func testLoader() (*Loader, error) {
+	sharedOnce.Do(func() {
+		out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+		if err != nil {
+			sharedErr = fmt.Errorf("locating module root: %v", err)
+			return
+		}
+		root := strings.TrimSpace(string(out))
+		sharedLoader = NewLoader(root)
+		if _, err := sharedLoader.Load("./..."); err != nil {
+			sharedErr = err
+		}
+	})
+	return sharedLoader, sharedErr
+}
+
+// RunTest runs one analyzer over the testdata package in dir,
+// presenting it to the analyzer under importPath (so path-scoped
+// analyzers such as guardtick can be pointed at the package they
+// guard), and verifies the findings against // want comments.
+func RunTest(t testing.TB, a *Analyzer, dir, importPath string) {
+	t.Helper()
+	loader, err := testLoader()
+	if err != nil {
+		t.Fatalf("loading module for analysis tests: %v", err)
+	}
+	pkg, err := loader.CheckDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("type-checking %s: %v", dir, err)
+	}
+	findings, err := RunAnalyzers(loader.Fset, []*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	wants, err := parseWants(dir)
+	if err != nil {
+		t.Fatalf("parsing want comments: %v", err)
+	}
+	for _, f := range findings {
+		key := wantKey{file: filepath.Base(f.Pos.Filename), line: f.Pos.Line}
+		matched := false
+		for i, w := range wants[key] {
+			if w.used || !w.re.MatchString(f.Message) {
+				continue
+			}
+			wants[key][i].used = true
+			matched = true
+			break
+		}
+		if !matched {
+			t.Errorf("unexpected finding at %s:%d: [%s] %s", key.file, key.line, f.Analyzer, f.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("no finding at %s:%d matched want %q", key.file, key.line, w.re)
+			}
+		}
+	}
+}
+
+type wantKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// parseWants extracts // want "..." expectations from every .go file
+// directly under dir.
+func parseWants(dir string) (map[wantKey][]want, error) {
+	out := make(map[wantKey][]want)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		line := 0
+		for sc.Scan() {
+			line++
+			m := wantRE.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			for _, q := range splitQuoted(m[1]) {
+				pat, err := strconv.Unquote(q)
+				if err != nil {
+					f.Close()
+					return nil, fmt.Errorf("%s:%d: bad want string %s: %v", e.Name(), line, q, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					f.Close()
+					return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", e.Name(), line, pat, err)
+				}
+				key := wantKey{file: e.Name(), line: line}
+				out[key] = append(out[key], want{re: re})
+			}
+		}
+		if err := sc.Err(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.Close()
+	}
+	return out, nil
+}
+
+// splitQuoted returns the double-quoted segments of a want payload,
+// e.g. `"a" "b"` -> ["\"a\"", "\"b\""].
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		i := strings.IndexByte(s, '"')
+		if i < 0 {
+			return out
+		}
+		j := i + 1
+		for j < len(s) {
+			if s[j] == '\\' {
+				j += 2
+				continue
+			}
+			if s[j] == '"' {
+				break
+			}
+			j++
+		}
+		if j >= len(s) {
+			return out
+		}
+		out = append(out, s[i:j+1])
+		s = s[j+1:]
+	}
+}

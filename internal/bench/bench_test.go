@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -55,14 +56,14 @@ func TestQueriesSubstituted(t *testing.T) {
 }
 
 func TestCrossSchemeCheck(t *testing.T) {
-	if err := CrossSchemeCheck(sharedEnv(t)); err != nil {
+	if err := CrossSchemeCheck(context.Background(), sharedEnv(t)); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestAllExperimentsRun(t *testing.T) {
 	env := sharedEnv(t)
-	tables := AllExperiments(env)
+	tables := AllExperiments(context.Background(), env)
 	if len(tables) != 15 {
 		t.Fatalf("experiments = %d, want 15", len(tables))
 	}
@@ -81,11 +82,11 @@ func TestExperimentLookup(t *testing.T) {
 	env := sharedEnv(t)
 	for _, id := range []string{"table1", "table2", "table5", "table6", "table7", "table8", "table9",
 		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "dml"} {
-		if _, err := Experiment(env, id); err != nil {
+		if _, err := Experiment(context.Background(), env, id); err != nil {
 			t.Errorf("Experiment(%q): %v", id, err)
 		}
 	}
-	if _, err := Experiment(env, "table3"); err == nil {
+	if _, err := Experiment(context.Background(), env, "table3"); err == nil {
 		t.Error("unknown experiment id accepted")
 	}
 }
@@ -117,11 +118,11 @@ func TestTable9Shapes(t *testing.T) {
 func TestFigure6Shape(t *testing.T) {
 	env := sharedEnv(t)
 	queries := env.Queries()
-	durNG, nNG, err := RunTimed(env.NG.Engine, TargetModelFor(env.NG, "EQ7a"), queries["EQ7a"])
+	durNG, nNG, err := RunTimed(context.Background(), env.NG.Engine, TargetModelFor(env.NG, "EQ7a"), queries["EQ7a"])
 	if err != nil {
 		t.Fatal(err)
 	}
-	durSP, nSP, err := RunTimed(env.SP.Engine, TargetModelFor(env.SP, "EQ7b"), queries["EQ7b"])
+	durSP, nSP, err := RunTimed(context.Background(), env.SP.Engine, TargetModelFor(env.SP, "EQ7b"), queries["EQ7b"])
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,12 +1,15 @@
 package bench
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // TestEQ12MatchesInMemoryTriangles cross-validates the SPARQL triangle
 // count (EQ12) against the pg package's index-free adjacency counter.
 func TestEQ12MatchesInMemoryTriangles(t *testing.T) {
 	env := sharedEnv(t)
-	_, sparqlCount, err := RunTimed(env.NG.Engine, TargetModelFor(env.NG, "EQ12"), env.Queries()["EQ12"])
+	_, sparqlCount, err := RunTimed(context.Background(), env.NG.Engine, TargetModelFor(env.NG, "EQ12"), env.Queries()["EQ12"])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -20,7 +23,7 @@ func TestEQ12MatchesInMemoryTriangles(t *testing.T) {
 // distribution row count against a direct computation.
 func TestEQ9MatchesInMemoryDegrees(t *testing.T) {
 	env := sharedEnv(t)
-	_, rows, err := RunTimed(env.NG.Engine, TargetModelFor(env.NG, "EQ9"), env.Queries()["EQ9"])
+	_, rows, err := RunTimed(context.Background(), env.NG.Engine, TargetModelFor(env.NG, "EQ9"), env.Queries()["EQ9"])
 	if err != nil {
 		t.Fatal(err)
 	}

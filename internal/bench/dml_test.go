@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -10,11 +11,11 @@ func TestDMLExtensionRoundTrips(t *testing.T) {
 
 	// Record a fingerprint: EQ8 counts depend on edge KVs being intact.
 	queries := env.Queries()
-	_, beforeNG, err := RunTimed(env.NG.Engine, TargetModelFor(env.NG, "EQ8a"), queries["EQ8a"])
+	_, beforeNG, err := RunTimed(context.Background(), env.NG.Engine, TargetModelFor(env.NG, "EQ8a"), queries["EQ8a"])
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, beforeSP, err := RunTimed(env.SP.Engine, TargetModelFor(env.SP, "EQ8b"), queries["EQ8b"])
+	_, beforeSP, err := RunTimed(context.Background(), env.SP.Engine, TargetModelFor(env.SP, "EQ8b"), queries["EQ8b"])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,11 +30,11 @@ func TestDMLExtensionRoundTrips(t *testing.T) {
 	}
 
 	// The store must be exactly restored: rerun the fingerprint queries.
-	_, afterNG, err := RunTimed(env.NG.Engine, TargetModelFor(env.NG, "EQ8a"), queries["EQ8a"])
+	_, afterNG, err := RunTimed(context.Background(), env.NG.Engine, TargetModelFor(env.NG, "EQ8a"), queries["EQ8a"])
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, afterSP, err := RunTimed(env.SP.Engine, TargetModelFor(env.SP, "EQ8b"), queries["EQ8b"])
+	_, afterSP, err := RunTimed(context.Background(), env.SP.Engine, TargetModelFor(env.SP, "EQ8b"), queries["EQ8b"])
 	if err != nil {
 		t.Fatal(err)
 	}

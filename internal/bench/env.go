@@ -8,6 +8,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -176,28 +177,28 @@ func (env *Env) Queries() map[string]string {
 // a single-row single-column COUNT query it is the counted value
 // (EQ11/EQ12 report path/triangle counts); otherwise it is the number
 // of solution rows.
-func RunTimed(e *sparql.Engine, model, query string) (time.Duration, int, error) {
-	res, err := e.Query(model, query) // warm-up
+func RunTimed(ctx context.Context, e *sparql.Engine, model, query string) (time.Duration, int, error) {
+	res, err := e.QueryContext(ctx, model, query) // warm-up
 	if err != nil {
 		return 0, 0, err
 	}
 	runs := 3
-	if first := timeOnce(e, model, query); first > 2*time.Second {
+	if first := timeOnce(ctx, e, model, query); first > 2*time.Second {
 		// Long queries: a single timed run, like the paper.
 		return first, resultCount(res), nil
 	} else {
 		durs := []time.Duration{first}
 		for i := 1; i < runs; i++ {
-			durs = append(durs, timeOnce(e, model, query))
+			durs = append(durs, timeOnce(ctx, e, model, query))
 		}
 		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
 		return durs[len(durs)/2], resultCount(res), nil
 	}
 }
 
-func timeOnce(e *sparql.Engine, model, query string) time.Duration {
+func timeOnce(ctx context.Context, e *sparql.Engine, model, query string) time.Duration {
 	start := time.Now()
-	_, _ = e.Query(model, query)
+	_, _ = e.QueryContext(ctx, model, query)
 	return time.Since(start)
 }
 

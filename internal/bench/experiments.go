@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -298,7 +299,7 @@ func schemeVariant(name string) string {
 
 // queryFigure runs a set of queries on the applicable schemes and
 // renders times + result counts.
-func queryFigure(env *Env, id, title string, names []string) *Table {
+func queryFigure(ctx context.Context, env *Env, id, title string, names []string) *Table {
 	t := &Table{ID: id, Title: title,
 		Head: []string{"query", "scheme", "time", "results", "paper results (full scale)"}}
 	queries := env.Queries()
@@ -312,7 +313,7 @@ func queryFigure(env *Env, id, title string, names []string) *Table {
 				continue
 			}
 			model := TargetModelFor(se, name)
-			dur, n, err := RunTimed(se.Engine, model, q)
+			dur, n, err := RunTimed(ctx, se.Engine, model, q)
 			if err != nil {
 				t.AddRow(name, se.Scheme.String(), "ERROR", err.Error(), "")
 				continue
@@ -324,30 +325,30 @@ func queryFigure(env *Env, id, title string, names []string) *Table {
 }
 
 // Figure5 runs the node-centric queries EQ1–EQ4.
-func Figure5(env *Env) *Table {
-	t := queryFigure(env, "Figure 5", "Execution time for node-centric queries", []string{"EQ1", "EQ2", "EQ3", "EQ4"})
+func Figure5(ctx context.Context, env *Env) *Table {
+	t := queryFigure(ctx, env, "Figure 5", "Execution time for node-centric queries", []string{"EQ1", "EQ2", "EQ3", "EQ4"})
 	t.AddNote("expected shape: NG ≈ SP (same node-KV triples, index NLJ both)")
 	return t
 }
 
 // Figure6 runs the edge-centric queries EQ5–EQ8 (a = NG, b = SP).
-func Figure6(env *Env) *Table {
-	t := queryFigure(env, "Figure 6", "Execution time for edge-centric queries",
+func Figure6(ctx context.Context, env *Env) *Table {
+	t := queryFigure(ctx, env, "Figure 6", "Execution time for edge-centric queries",
 		[]string{"EQ5a", "EQ5b", "EQ6a", "EQ6b", "EQ7a", "EQ7b", "EQ8a", "EQ8b"})
 	t.AddNote("expected shape: NG < SP on edge-KV access (2 quads vs 3 triples per edge); gap widest at EQ7")
 	return t
 }
 
 // Figure7 runs the aggregate queries EQ9–EQ10.
-func Figure7(env *Env) *Table {
-	t := queryFigure(env, "Figure 7", "Execution time for aggregate queries", []string{"EQ9", "EQ10"})
+func Figure7(ctx context.Context, env *Env) *Table {
+	t := queryFigure(ctx, env, "Figure 7", "Execution time for aggregate queries", []string{"EQ9", "EQ10"})
 	t.AddNote("expected shape: NG ≈ SP (same topology structures)")
 	return t
 }
 
 // Figure8 runs the graph traversal queries EQ11a–e.
-func Figure8(env *Env) *Table {
-	t := queryFigure(env, "Figure 8", "Execution time for graph traversal queries (1..5 hops, path counting)",
+func Figure8(ctx context.Context, env *Env) *Table {
+	t := queryFigure(ctx, env, "Figure 8", "Execution time for graph traversal queries (1..5 hops, path counting)",
 		[]string{"EQ11a", "EQ11b", "EQ11c", "EQ11d", "EQ11e"})
 	t.AddNote("expected shape: ~exponential growth with hops; NG slightly faster (smaller scan table)")
 	t.AddNote("start node: %s (follows out-degree ~21, as in the paper)", env.StartNode)
@@ -355,26 +356,26 @@ func Figure8(env *Env) *Table {
 }
 
 // Figure9 runs the triangle counting query EQ12.
-func Figure9(env *Env) *Table {
-	t := queryFigure(env, "Figure 9", "Execution time for triangle counting", []string{"EQ12"})
+func Figure9(ctx context.Context, env *Env) *Table {
+	t := queryFigure(ctx, env, "Figure 9", "Execution time for triangle counting", []string{"EQ12"})
 	t.AddNote("expected shape: hash joins with full scans; NG slightly faster")
 	return t
 }
 
 // AllExperiments runs everything in paper order, plus the DML
 // extension.
-func AllExperiments(env *Env) []*Table {
+func AllExperiments(ctx context.Context, env *Env) []*Table {
 	return []*Table{
 		Table1(), Table2(env), Table5(env), Table6(env), Table7(env),
-		Table8(env), Table9(env), Figure4(env), Figure5(env), Figure6(env),
-		Figure7(env), Figure8(env), Figure9(env), DMLExtension(env, 200),
-		InferenceExtension(env),
+		Table8(env), Table9(env), Figure4(env), Figure5(ctx, env), Figure6(ctx, env),
+		Figure7(ctx, env), Figure8(ctx, env), Figure9(ctx, env), DMLExtension(env, 200),
+		InferenceExtension(ctx, env),
 	}
 }
 
 // Experiment looks up one experiment by id ("table1".."table9",
 // "fig4".."fig9").
-func Experiment(env *Env, id string) (*Table, error) {
+func Experiment(ctx context.Context, env *Env, id string) (*Table, error) {
 	switch strings.ToLower(id) {
 	case "table1", "1":
 		return Table1(), nil
@@ -393,19 +394,19 @@ func Experiment(env *Env, id string) (*Table, error) {
 	case "fig4":
 		return Figure4(env), nil
 	case "fig5":
-		return Figure5(env), nil
+		return Figure5(ctx, env), nil
 	case "fig6":
-		return Figure6(env), nil
+		return Figure6(ctx, env), nil
 	case "fig7":
-		return Figure7(env), nil
+		return Figure7(ctx, env), nil
 	case "fig8":
-		return Figure8(env), nil
+		return Figure8(ctx, env), nil
 	case "fig9":
-		return Figure9(env), nil
+		return Figure9(ctx, env), nil
 	case "dml":
 		return DMLExtension(env, 200), nil
 	case "inference", "inf":
-		return InferenceExtension(env), nil
+		return InferenceExtension(ctx, env), nil
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %q", id)
 	}
@@ -413,17 +414,17 @@ func Experiment(env *Env, id string) (*Table, error) {
 
 // Sanity cross-checks used by tests: the NG and SP answers to every
 // experiment query must match.
-func CrossSchemeCheck(env *Env) error {
+func CrossSchemeCheck(ctx context.Context, env *Env) error {
 	queries := env.Queries()
 	pairs := [][2]string{
 		{"EQ5a", "EQ5b"}, {"EQ6a", "EQ6b"}, {"EQ7a", "EQ7b"}, {"EQ8a", "EQ8b"},
 	}
 	for _, p := range pairs {
-		_, nNG, err := RunTimed(env.NG.Engine, TargetModelFor(env.NG, p[0]), queries[p[0]])
+		_, nNG, err := RunTimed(ctx, env.NG.Engine, TargetModelFor(env.NG, p[0]), queries[p[0]])
 		if err != nil {
 			return fmt.Errorf("%s: %w", p[0], err)
 		}
-		_, nSP, err := RunTimed(env.SP.Engine, TargetModelFor(env.SP, p[1]), queries[p[1]])
+		_, nSP, err := RunTimed(ctx, env.SP.Engine, TargetModelFor(env.SP, p[1]), queries[p[1]])
 		if err != nil {
 			return fmt.Errorf("%s: %w", p[1], err)
 		}
@@ -432,11 +433,11 @@ func CrossSchemeCheck(env *Env) error {
 		}
 	}
 	for _, name := range []string{"EQ1", "EQ2", "EQ3", "EQ4", "EQ9", "EQ10", "EQ12"} {
-		_, nNG, err := RunTimed(env.NG.Engine, TargetModelFor(env.NG, name), queries[name])
+		_, nNG, err := RunTimed(ctx, env.NG.Engine, TargetModelFor(env.NG, name), queries[name])
 		if err != nil {
 			return fmt.Errorf("NG %s: %w", name, err)
 		}
-		_, nSP, err := RunTimed(env.SP.Engine, TargetModelFor(env.SP, name), queries[name])
+		_, nSP, err := RunTimed(ctx, env.SP.Engine, TargetModelFor(env.SP, name), queries[name])
 		if err != nil {
 			return fmt.Errorf("SP %s: %w", name, err)
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -15,7 +16,7 @@ import (
 // an "inferred" model — Oracle's native-inference workflow — and show
 // that a single-predicate SPARQL query over the virtual (asserted +
 // inferred) dataset replaces the alternation query EQ9/EQ10 use.
-func InferenceExtension(env *Env) *Table {
+func InferenceExtension(ctx context.Context, env *Env) *Table {
 	t := &Table{ID: "Extension: Inference", Title: "RDFS subproperty entailment over the transformed dataset (§5.2)",
 		Head: []string{"quantity", "value"}}
 	se := env.NG
@@ -74,7 +75,7 @@ func InferenceExtension(env *Env) *Table {
 	}
 	q := `PREFIX rel: <` + vocab.RelNS + `>
 SELECT (COUNT(*) AS ?c) WHERE { ?x rel:connectedTo ?y }`
-	durQ, count, err := RunTimed(se.Engine, "topo_inferred", q)
+	durQ, count, err := RunTimed(ctx, se.Engine, "topo_inferred", q)
 	if err != nil {
 		t.AddNote("query error: %v", err)
 		return t

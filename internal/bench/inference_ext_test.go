@@ -1,20 +1,21 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestInferenceExtension(t *testing.T) {
 	env := sharedEnv(t)
-	tab := InferenceExtension(env)
+	tab := InferenceExtension(context.Background(), env)
 	out := tab.String()
 	if strings.Contains(out, "error") {
 		t.Fatalf("inference extension failed:\n%s", out)
 	}
 	// Running a second time on the same env must work (idempotence of
 	// the virtual-model setup) and infer nothing new.
-	tab2 := InferenceExtension(env)
+	tab2 := InferenceExtension(context.Background(), env)
 	if strings.Contains(tab2.String(), "error") {
 		t.Fatalf("second run failed:\n%s", tab2.String())
 	}

@@ -1,0 +1,81 @@
+package httpapi
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/ntriples"
+)
+
+func TestExportStreamsNQuads(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/export?model=social")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/n-quads" {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quads, err := ntriples.NewReader(strings.NewReader(string(body))).ReadAll()
+	if err != nil {
+		t.Fatalf("export output is not valid N-Quads: %v\n%s", err, body)
+	}
+	if len(quads) != 4 {
+		t.Fatalf("exported %d quads, want 4:\n%s", len(quads), body)
+	}
+}
+
+func TestExportUnknownModelIs404(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/export?model=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestExportMissingModelIs400(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/export")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestExportLeavesNoOpenCursors(t *testing.T) {
+	srv := testServer(t)
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(srv.URL + "/export?model=social")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), `"openCursors":0`) {
+		t.Fatalf("cursor leak after export: %s", body)
+	}
+}

@@ -239,6 +239,7 @@ func NewServerWithConfig(st *store.Store, cfg Config) *Server {
 	s.mux.HandleFunc("/sparql", s.handleQuery)
 	s.mux.HandleFunc("/update", s.handleUpdate)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/export", s.handleExport)
 	return s
 }
 
@@ -529,6 +530,51 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	rep := s.eng.Store().Storage()
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, `{"quads":%d,"subjects":%d,"predicates":%d,"objects":%d,"namedGraphs":%d,"storageBytes":%d}`+"\n",
-		st.Quads, st.Subjects, st.Predicates, st.Objects, st.NamedGraphs, rep.Total)
+	fmt.Fprintf(w, `{"quads":%d,"subjects":%d,"predicates":%d,"objects":%d,"namedGraphs":%d,"storageBytes":%d,"openCursors":%d}`+"\n",
+		st.Quads, st.Subjects, st.Predicates, st.Objects, st.NamedGraphs, rep.Total, s.eng.Store().OpenCursors())
+}
+
+// handleExport streams every quad of one model as N-Quads. It is the
+// production consumer of store.Cursor: the snapshot cursor lets the
+// handler write row by row without holding the store lock for the whole
+// response, and the deferred Close keeps the OpenCursors gauge honest
+// even when the client disconnects mid-stream.
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSONError(w, http.StatusMethodNotAllowed, "method", "method not allowed")
+		return
+	}
+	model := r.URL.Query().Get("model")
+	if model == "" {
+		writeJSONError(w, http.StatusBadRequest, "request", "missing model parameter")
+		return
+	}
+	st := s.eng.Store()
+	m := st.LookupModel(model)
+	if m == store.NoID {
+		writeJSONError(w, http.StatusNotFound, "unknown-model", fmt.Sprintf("unknown model %q", model))
+		return
+	}
+	p := store.AnyPattern()
+	p.M = m
+	cur := st.Cursor(p)
+	defer cur.Close()
+	w.Header().Set("Content-Type", "application/n-quads")
+	nw := ntriples.NewWriter(w)
+	ctx := r.Context()
+	for {
+		q, ok := cur.NextQuad()
+		if !ok {
+			break
+		}
+		if ctx.Err() != nil {
+			return // client went away mid-stream
+		}
+		if err := nw.Write(q); err != nil {
+			return
+		}
+	}
+	if err := nw.Flush(); err != nil {
+		return
+	}
 }

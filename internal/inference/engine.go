@@ -16,6 +16,7 @@
 package inference
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/rdf"
@@ -391,19 +392,19 @@ func (e *Engine) compileAtom(a TriplePattern) (*store.Pattern, atomVars, error) 
 		return nil
 	}
 	if err := resolve(a.S, func(id store.ID) { p.S = id }, &vars.s); err != nil {
-		if err == errAbsent {
+		if errors.Is(err, errAbsent) {
 			return nil, vars, nil
 		}
 		return nil, vars, err
 	}
 	if err := resolve(a.P, func(id store.ID) { p.P = id }, &vars.p); err != nil {
-		if err == errAbsent {
+		if errors.Is(err, errAbsent) {
 			return nil, vars, nil
 		}
 		return nil, vars, err
 	}
 	if err := resolve(a.O, func(id store.ID) { p.C = id }, &vars.o); err != nil {
-		if err == errAbsent {
+		if errors.Is(err, errAbsent) {
 			return nil, vars, nil
 		}
 		return nil, vars, err

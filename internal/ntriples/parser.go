@@ -6,6 +6,7 @@ package ntriples
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -64,7 +65,7 @@ func (r *Reader) ReadAll() ([]rdf.Quad, error) {
 	var quads []rdf.Quad
 	for {
 		q, err := r.Read()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return quads, nil
 		}
 		if err != nil {
@@ -84,6 +85,11 @@ func (r *Reader) parseLine(line string) (rdf.Quad, error) {
 	p := &lineParser{s: line, line: r.line}
 	var q rdf.Quad
 	var err error
+	// N-Triples documents are UTF-8; raw invalid bytes must not leak
+	// into terms, where they would not survive a write/read round trip.
+	if !utf8.ValidString(line) {
+		return q, p.errf("line is not valid UTF-8")
+	}
 	if q.S, err = p.term(); err != nil {
 		return q, err
 	}

@@ -1,0 +1,11 @@
+package ntriples
+
+// regressionInputs pins inputs that previously made FuzzReader fail —
+// either a parser panic or a write/read round-trip break. Each entry
+// is fed back as a fuzz seed so the bug cannot silently return.
+var regressionInputs = []string{
+	// A raw invalid-UTF-8 byte inside a literal used to parse, then the
+	// writer escaped it to U+FFFD so the round trip changed the term.
+	// The parser now rejects lines that are not valid UTF-8.
+	"<0><0>\"\xc3\".",
+}

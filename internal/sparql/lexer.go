@@ -147,6 +147,13 @@ func (l *lexer) next() (token, error) {
 		return l.lexNumber(start, line)
 	case isNameStartByte(c):
 		word := l.takeWhile(isNameChar)
+		if word == "" {
+			// A byte >= 0x80 that decodes to a non-name rune (or to
+			// U+FFFD on invalid UTF-8). Without this check the lexer
+			// would emit a zero-width token and never advance.
+			r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+			return token{}, l.errf("unexpected character %q", r)
+		}
 		// Prefixed name? (prefix:local, or :local via empty prefix)
 		if l.peekByte() == ':' {
 			l.pos++

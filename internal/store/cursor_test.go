@@ -1,0 +1,91 @@
+package store
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func cursorTestStore(t *testing.T) *Store {
+	t.Helper()
+	s := New()
+	quads := []rdf.Quad{
+		{S: rdf.NewIRI("http://x/a"), P: rdf.NewIRI("http://x/p"), O: rdf.NewIRI("http://x/b")},
+		{S: rdf.NewIRI("http://x/a"), P: rdf.NewIRI("http://x/p"), O: rdf.NewIRI("http://x/c")},
+		{S: rdf.NewIRI("http://x/b"), P: rdf.NewIRI("http://x/q"), O: rdf.NewLiteral("v")},
+	}
+	if _, err := s.Load("m", quads); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return s
+}
+
+func TestCursorDrain(t *testing.T) {
+	s := cursorTestStore(t)
+	p := AnyPattern()
+	p.S = s.Dict().Lookup(rdf.NewIRI("http://x/a"))
+	c := s.Cursor(p)
+	defer c.Close()
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	n := 0
+	for {
+		q, ok := c.Next()
+		if !ok {
+			break
+		}
+		if q.S != p.S {
+			t.Fatalf("row %v does not match pattern subject %d", q, p.S)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("drained %d rows, want 2", n)
+	}
+	if _, ok := c.Next(); ok {
+		t.Fatal("Next after exhaustion reported ok")
+	}
+}
+
+func TestCursorSnapshotIsolation(t *testing.T) {
+	s := cursorTestStore(t)
+	c := s.Cursor(AnyPattern())
+	defer c.Close()
+	before := c.Len()
+	if _, err := s.Insert("m", rdf.Quad{S: rdf.NewIRI("http://x/z"), P: rdf.NewIRI("http://x/p"), O: rdf.NewIRI("http://x/a")}); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	s.Compact()
+	n := 0
+	for _, ok := c.Next(); ok; _, ok = c.Next() {
+		n++
+	}
+	if n != before {
+		t.Fatalf("snapshot saw %d rows after concurrent insert, want %d", n, before)
+	}
+}
+
+func TestCursorLeakGauge(t *testing.T) {
+	s := cursorTestStore(t)
+	if got := s.OpenCursors(); got != 0 {
+		t.Fatalf("OpenCursors = %d before any cursor", got)
+	}
+	c1 := s.Cursor(AnyPattern())
+	c2 := s.Cursor(AnyPattern())
+	if got := s.OpenCursors(); got != 2 {
+		t.Fatalf("OpenCursors = %d, want 2", got)
+	}
+	c1.Close()
+	c1.Close() // idempotent: must not decrement twice
+	if got := s.OpenCursors(); got != 1 {
+		t.Fatalf("OpenCursors = %d after double close of one cursor, want 1", got)
+	}
+	c2.Close()
+	if got := s.OpenCursors(); got != 0 {
+		t.Fatalf("OpenCursors = %d after closing all, want 0", got)
+	}
+	if _, ok := c1.Next(); ok {
+		t.Fatal("Next on closed cursor reported ok")
+	}
+}

@@ -41,6 +41,9 @@ type Store struct {
 	// fault optionally perturbs scans for degradation testing; nil in
 	// production. See FaultInjector.
 	fault atomic.Pointer[FaultInjector]
+
+	// openCursors counts Cursors created but not yet closed (leak gauge).
+	openCursors atomic.Int64
 }
 
 // DefaultIndexes are the two indexes Oracle creates on every semantic

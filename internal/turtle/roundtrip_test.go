@@ -1,0 +1,52 @@
+package turtle
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRoundTripCornerCases runs the FuzzParse property (accepted input
+// must serialize and re-parse to the same triple set) over hand-picked
+// inputs that stress the writer: escapes, long strings, numeric forms,
+// empty containers, and bytes that broke the sibling N-Triples parser.
+func TestRoundTripCornerCases(t *testing.T) {
+	inputs := []string{
+		"<http://a> <http://p> \"ends with backslash \\\\\" .\n",
+		"<http://a> <http://p> \"has \\\" quote\" .\n",
+		"<http://a> <http://p> \"\"\"a\"b\"\"c\"\"\" .\n",
+		"<http://a> <http://p> \"tab\\there\" .\n",
+		"<http://a> <http://p> \"new\\nline\" .\n",
+		"<http://a> <http://p> 1. .\n",
+		"<http://a> <http://p> 007 .\n",
+		"<http://a> <http://p> -0.0 .\n",
+		"<http://a> <http://p> 1E+0 .\n",
+		"<http://a> <http://p> \"x\"@EN-us .\n",
+		"<http://a> <http://p> \"\" .\n",
+		"<http://a> <http://p> '''x''y''' .\n",
+		"@prefix : <http://x/> .\n:a :p ( ) .\n",
+		"@prefix : <http://x/> .\n:a :p [ ] .\n",
+		"<http://a> <http://p> \"7\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n",
+		"<http://a> <http://p> \"x y\"^^<http://w/dt> .\n",
+		"<http://a> <http://p> \"\xc3\" .\n",
+		"\xe2\x80\xa2 <http://p> <http://b> .\n",
+	}
+	for _, data := range inputs {
+		triples, err := ParseString(data)
+		if err != nil {
+			continue // rejection is fine; the property covers accepted input
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, triples, nil); err != nil {
+			t.Errorf("writer rejected parser output: %v\ninput: %q", err, data)
+			continue
+		}
+		again, err := ParseString(buf.String())
+		if err != nil {
+			t.Errorf("round-trip re-parse failed: %v\ninput: %q\nserialized: %q", err, data, buf.String())
+			continue
+		}
+		if !sameTripleSet(triples, again) {
+			t.Errorf("round-trip differs\ninput: %q\nserialized: %q", data, buf.String())
+		}
+	}
+}
