@@ -1,7 +1,10 @@
 GO ?= go
 FUZZTIME ?= 30s
+BENCH_WORKERS ?= 8
+BENCH_ITERS ?= 3
+BENCH_SCALE ?= 0.05
 
-.PHONY: check vet lint build test race bench fuzz-smoke
+.PHONY: check vet lint build test race bench bench-smoke fuzz-smoke
 
 ## check: the full gate — vet, build, the pgrdfvet analyzers, and the
 ## race-enabled test suite.
@@ -24,8 +27,17 @@ test:
 race:
 	$(GO) test -race ./...
 
+## bench: Go micro-benchmarks plus the serial-vs-parallel comparison of
+## the paper's scan-heavy queries and bulk load, written to
+## BENCH_parallel.json. Tune with BENCH_WORKERS / BENCH_ITERS /
+## BENCH_SCALE.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+	$(GO) run ./cmd/benchpaper -parallelbench -workers $(BENCH_WORKERS) -iters $(BENCH_ITERS) -scale $(BENCH_SCALE) -out BENCH_parallel.json
+
+## bench-smoke: one-iteration bench at reduced scale (the CI gate).
+bench-smoke:
+	$(MAKE) bench BENCH_ITERS=1 BENCH_SCALE=0.02
 
 ## fuzz-smoke: run each parser fuzz target for FUZZTIME (default 30s).
 ## Regression seeds always run as part of plain `make test` too.

@@ -16,6 +16,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +32,10 @@ func main() {
 	table := flag.String("table", "", "run a single table (1,2,5,6,7,8,9)")
 	fig := flag.String("fig", "", "run a single figure (4,5,6,7,8,9)")
 	seed := flag.Int64("seed", 0, "override generator seed")
+	parallelBench := flag.Bool("parallelbench", false, "run the serial-vs-parallel comparison (morsel-driven executor + bulk load) instead of the paper tables")
+	workers := flag.Int("workers", 8, "worker budget for -parallelbench")
+	iters := flag.Int("iters", 3, "timed iterations per query for -parallelbench (1 = smoke)")
+	out := flag.String("out", "", "write the -parallelbench JSON report to this file (default stdout)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -51,6 +56,27 @@ func main() {
 		time.Since(start).Round(time.Millisecond), env.GraphStats.Vertices, env.GraphStats.Edges, env.Tag, env.TagNodeCount)
 
 	switch {
+	case *parallelBench:
+		rep, err := bench.ParallelBench(ctx, env, *workers, *iters)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchpaper:", err)
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchpaper:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if *out == "" {
+			os.Stdout.Write(data)
+			return
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchpaper:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (workers=%d, gomaxprocs=%d)\n", *out, rep.Workers, rep.GOMAXPROCS)
 	case *table != "":
 		run(ctx, env, "table"+*table)
 	case *fig != "":

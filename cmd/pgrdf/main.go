@@ -326,6 +326,7 @@ func runServe(args []string) error {
 	maxQueue := fs.Int("max-queue", 32, "max requests waiting for a free slot before shedding with 503")
 	maxRows := fs.Int("max-rows", 0, "per-query result-row budget (0 = default, negative = unlimited)")
 	maxBindings := fs.Int("max-bindings", 0, "per-query intermediate-binding budget (0 = default, negative = unlimited)")
+	parallelism := fs.Int("parallelism", 0, "per-query worker budget for intra-query parallelism (0 = GOMAXPROCS, 1 or negative = serial)")
 	drainWait := fs.Duration("drain", 15*time.Second, "max time to wait for in-flight queries on shutdown")
 	fs.Parse(args)
 
@@ -360,6 +361,12 @@ func runServe(args []string) error {
 	cfg.MaxQueue = *maxQueue
 	cfg.MaxRows = *maxRows
 	cfg.MaxBindings = *maxBindings
+	cfg.Parallelism = *parallelism
+	if *parallelism < 0 {
+		st.SetParallelism(1) // serial bulk loads too
+	} else {
+		st.SetParallelism(*parallelism)
+	}
 	h := httpapi.NewServerWithConfig(st, cfg)
 	h.ReadOnly = *readOnly
 	fmt.Fprintf(os.Stderr, "SPARQL endpoint on http://%s/sparql (updates: http://%s/update, stats: http://%s/stats)\n",

@@ -15,11 +15,12 @@ import (
 //
 // Rule, scoped to repro/internal/sparql: any call to a raw store row
 // source — (*store.Store).Scan / ScanIndex / Cursor or
-// (*store.Index).Scan — must sit in a top-level function that also
-// ticks the guard (a call to guard.tick, guard.poll, or
-// guard.checkRows somewhere in the same function, typically inside
-// the scan callback). Routing through (*execCtx).scan satisfies this
-// by construction and is the preferred fix.
+// (*store.Index).Scan / ScanRange — must sit in a top-level function
+// that also ticks the guard (a call to guard.tick, guard.tickN,
+// guard.poll, or guard.checkRows somewhere in the same function,
+// typically inside the scan callback or the worker loop draining a
+// cursor). Routing through (*execCtx).scan satisfies this by
+// construction and is the preferred fix.
 var Guardtick = &Analyzer{
 	Name: "guardtick",
 	Doc:  "store scans inside internal/sparql must tick the query budget guard",
@@ -29,11 +30,14 @@ var Guardtick = &Analyzer{
 // rawScanMethods are the store row sources that bypass (*execCtx).scan.
 var rawScanMethods = map[string]map[string]bool{
 	"Store": {"Scan": true, "ScanIndex": true, "Cursor": true},
-	"Index": {"Scan": true},
+	"Index": {"Scan": true, "ScanRange": true},
 }
 
 // guardMethods are the calls that count as "the guard is consulted".
-var guardMethods = map[string]bool{"tick": true, "poll": true, "checkRows": true}
+// tickN is the batch form used by parallel workers: one tickN(n) call
+// accounts for n rows, so a worker loop that batches its ticks is as
+// guarded as one that ticks per row.
+var guardMethods = map[string]bool{"tick": true, "tickN": true, "poll": true, "checkRows": true}
 
 func runGuardtick(pass *Pass) error {
 	if pass.Path != sparqlPkg {

@@ -4,12 +4,17 @@
 // like the engine's.
 package guardticktest
 
-import "repro/internal/store"
+import (
+	"sync"
+
+	"repro/internal/store"
+)
 
 type guard struct{ n int }
 
-func (g *guard) tick() bool          { g.n++; return true }
-func (g *guard) poll() bool          { return true }
+func (g *guard) tick() bool           { g.n++; return true }
+func (g *guard) tickN(n int) bool     { g.n += n; return true }
+func (g *guard) poll() bool           { return true }
 func (g *guard) checkRows(n int) bool { return n >= 0 }
 
 func badDirectScan(st *store.Store, p store.Pattern) int {
@@ -83,6 +88,69 @@ func goodCheckRows(g *guard, st *store.Store, p store.Pattern) []store.IDQuad {
 		return g.checkRows(len(rows))
 	})
 	return rows
+}
+
+func badRangeScan(ix *store.Index, r store.RowRange, p store.Pattern) int {
+	n := 0
+	ix.ScanRange(r, p, func(q store.IDQuad) bool { // want "store scan without a budget-guard tick"
+		n++
+		return true
+	})
+	return n
+}
+
+// goodWorkerPool is the morsel-driven shape: worker goroutines drain
+// partitioned cursors and batch their budget accounting through tickN.
+// One tickN call anywhere in the function counts as a tick.
+func goodWorkerPool(g *guard, st *store.Store, p store.Pattern) int {
+	cur := st.Cursor(p)
+	parts := cur.Partitions(4)
+	var (
+		mu    sync.Mutex
+		total int
+		wg    sync.WaitGroup
+	)
+	for _, pc := range parts {
+		wg.Add(1)
+		go func(pc *store.Cursor) {
+			defer wg.Done()
+			defer pc.Close()
+			pending := 0
+			for {
+				if _, ok := pc.Next(); !ok {
+					break
+				}
+				pending++
+				if pending >= 64 {
+					if !g.tickN(pending) {
+						return
+					}
+					pending = 0
+				}
+			}
+			if !g.tickN(pending) {
+				return
+			}
+			mu.Lock()
+			total += pending
+			mu.Unlock()
+		}(pc)
+	}
+	wg.Wait()
+	return total
+}
+
+// goodRangeScan pairs the per-morsel range scan with a per-row tick.
+func goodRangeScan(g *guard, ix *store.Index, r store.RowRange, p store.Pattern) int {
+	n := 0
+	ix.ScanRange(r, p, func(q store.IDQuad) bool {
+		if !g.tick() {
+			return false
+		}
+		n++
+		return true
+	})
+	return n
 }
 
 func suppressed(st *store.Store, p store.Pattern) int {

@@ -47,6 +47,10 @@ type Config struct {
 	// sparql.Budget). <0 disables.
 	MaxRows     int
 	MaxBindings int
+	// Parallelism is the per-query worker budget for the engine's
+	// morsel-driven intra-query parallelism (see sparql.Engine). 0 uses
+	// the engine default (GOMAXPROCS); <0 forces serial execution.
+	Parallelism int
 }
 
 // DefaultConfig returns the production defaults: 30s deadlines, twice
@@ -224,6 +228,11 @@ func NewServer(st *store.Store) *Server {
 func NewServerWithConfig(st *store.Store, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	eng := sparql.NewEngine(st)
+	if cfg.Parallelism < 0 {
+		eng.Parallelism = 1
+	} else {
+		eng.Parallelism = cfg.Parallelism
+	}
 	eng.Limits = sparql.Budget{
 		// Timeouts are applied per request from the HTTP layer so
 		// admission-queue wait never eats into execution time.
@@ -529,9 +538,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rep := s.eng.Store().Storage()
+	ps := s.eng.ParallelStats()
+	par := s.eng.Parallelism
+	if par == 0 {
+		par = runtime.GOMAXPROCS(0) // the engine default, reported as its effective value
+	}
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, `{"quads":%d,"subjects":%d,"predicates":%d,"objects":%d,"namedGraphs":%d,"storageBytes":%d,"openCursors":%d}`+"\n",
-		st.Quads, st.Subjects, st.Predicates, st.Objects, st.NamedGraphs, rep.Total, s.eng.Store().OpenCursors())
+	fmt.Fprintf(w, `{"quads":%d,"subjects":%d,"predicates":%d,"objects":%d,"namedGraphs":%d,"storageBytes":%d,"openCursors":%d,`+
+		`"parallelism":%d,"parallelQueries":%d,"parallelWorkers":%d,"parallelMorsels":%d,"parallelHashBuilds":%d,"activeWorkers":%d}`+"\n",
+		st.Quads, st.Subjects, st.Predicates, st.Objects, st.NamedGraphs, rep.Total, s.eng.Store().OpenCursors(),
+		par, ps.Queries, ps.Workers, ps.Morsels, ps.HashBuilds, ps.ActiveWorkers)
 }
 
 // handleExport streams every quad of one model as N-Quads. It is the

@@ -3,9 +3,11 @@ package sparql
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/rdf"
 	"repro/internal/store"
@@ -24,6 +26,26 @@ type Engine struct {
 	// execution methods. The zero value imposes no limits. Set it once
 	// before serving queries; it is read concurrently.
 	Limits Budget
+
+	// Parallelism is the per-query worker budget for morsel-driven
+	// intra-query parallelism: partitioned BGP scans, partitioned
+	// hash-join builds and parallel path-search frontier expansion
+	// (DESIGN.md §10). 0 means runtime.GOMAXPROCS(0). 1 disables
+	// intra-query parallelism and reproduces the serial plans exactly
+	// (the paper-faithful ablation setting). Set it once before
+	// serving queries; it is read concurrently.
+	Parallelism int
+
+	// HashJoinThreshold is the number of input bindings that must
+	// stream through a BGP join step before the executor considers
+	// switching from index nested-loop join to a hash join over a full
+	// scan — the Tables 5–9 crossover. 0 means the default of 1024.
+	// Set it once before serving queries; it is read concurrently.
+	HashJoinThreshold int
+
+	// pstats accumulates intra-query parallelism counters; see
+	// ParallelStats.
+	pstats parallelStats
 
 	// planCache caches compiled SELECT plans by query text. Compiled
 	// plans are immutable after compilation (all per-run state lives in
@@ -72,6 +94,51 @@ func (e *Engine) compileCached(query string) (*compiled, error) {
 
 // Store returns the underlying store.
 func (e *Engine) Store() *store.Store { return e.st }
+
+// parallelism returns the effective per-query worker budget.
+func (e *Engine) parallelism() int {
+	if e.Parallelism > 0 {
+		return e.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// hashJoinMin returns the effective NLJ -> hash-join input threshold.
+func (e *Engine) hashJoinMin() int {
+	if e.HashJoinThreshold > 0 {
+		return e.HashJoinThreshold
+	}
+	return defaultHashJoinMinInput
+}
+
+// ParallelStatsSnapshot is a point-in-time view of the engine's
+// intra-query parallelism counters.
+type ParallelStatsSnapshot struct {
+	// Queries counts queries that ran at least one parallel stage.
+	Queries int64
+	// Workers counts worker goroutines launched across all queries.
+	Workers int64
+	// Morsels counts scan partitions (morsels) executed.
+	Morsels int64
+	// HashBuilds counts partitioned hash-table builds.
+	HashBuilds int64
+	// ActiveWorkers is the number of currently live worker goroutines;
+	// it returns to 0 between queries (leak gauge).
+	ActiveWorkers int64
+}
+
+// ParallelStats returns the engine's cumulative intra-query parallelism
+// counters, exposed through the HTTP /stats endpoint and used by the
+// no-leaked-goroutines tests.
+func (e *Engine) ParallelStats() ParallelStatsSnapshot {
+	return ParallelStatsSnapshot{
+		Queries:       e.pstats.queries.Load(),
+		Workers:       e.pstats.workers.Load(),
+		Morsels:       e.pstats.morsels.Load(),
+		HashBuilds:    e.pstats.hashBuilds.Load(),
+		ActiveWorkers: e.pstats.activeWorkers.Load(),
+	}
+}
 
 // Results is a materialized solution sequence. A zero Term in a row
 // means the variable is unbound in that solution.
@@ -419,6 +486,12 @@ func (e *Engine) Explain(model, query string) (string, error) {
 	ex := &explainer{ec: ec}
 	ex.printf("Select (dataset=%s)", datasetName(model))
 	ex.indent++
+	if ec.parallelism > 1 {
+		ex.printf("Parallel (morsel-driven: workers<=%d, morsels/scan<=%d, hash-join threshold %d)",
+			ec.parallelism, ec.parallelism*morselsPerWorker, ec.hashMin)
+	} else {
+		ex.printf("Serial (parallelism 1, hash-join threshold %d)", ec.hashMin)
+	}
 	for _, op := range cp.pipeline {
 		op.explain(ex)
 	}
@@ -466,7 +539,18 @@ func (e *Engine) execCtx(model string, vt *varTable) (*execCtx, error) {
 	if err != nil {
 		return nil, err
 	}
-	ec := &execCtx{st: e.st, vt: vt, noHashJoin: e.DisableHashJoin}
+	ec := &execCtx{
+		st:              e.st,
+		vt:              vt,
+		noHashJoin:      e.DisableHashJoin,
+		parallelism:     e.parallelism(),
+		hashMin:         e.hashJoinMin(),
+		pstats:          &e.pstats,
+		parallelFlagged: new(atomic.Bool),
+	}
+	if ec.parallelism > 1 {
+		ec.slots = make(chan struct{}, ec.parallelism)
+	}
 	// nil model set (scan everything) when the dataset is all models.
 	if model != "" && len(ids) != len(e.st.Models()) {
 		ec.models = make(map[store.ModelID]struct{}, len(ids))

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/rdf"
 	"repro/internal/store"
@@ -18,6 +20,27 @@ type execCtx struct {
 	vt          *varTable
 	noHashJoin  bool   // force NLJ everywhere (join-strategy ablation)
 	guard       *guard // nil = no cancellation or budget enforcement
+
+	// Intra-query parallelism (DESIGN.md §10). parallelism is the
+	// worker budget (1 = serial plans, exactly the pre-parallel
+	// executor); slots is the per-query semaphore workers are drawn
+	// from, so nested parallel stages degrade to serial instead of
+	// oversubscribing; pstats points at the engine's cumulative
+	// counters (nil in bare contexts such as Explain's).
+	parallelism     int
+	hashMin         int // NLJ -> hash-join input threshold
+	slots           chan struct{}
+	pstats          *parallelStats
+	parallelFlagged *atomic.Bool // set once when the query goes parallel
+}
+
+// child derives an execCtx for a nested scope (sub-select), sharing the
+// guard, dataset restriction and parallel budget but using the inner
+// scope's variable table.
+func (ec *execCtx) child(vt *varTable) *execCtx {
+	c := *ec
+	c.vt = vt
+	return &c
 }
 
 func (ec *execCtx) term(id store.ID) rdf.Term { return ec.st.Dict().Term(id) }
@@ -301,13 +324,198 @@ func orderPatterns(rps []resolvedPattern, initial varset) []int {
 	return order
 }
 
-// hashJoinMinInput is the number of input bindings that must stream
-// through a pattern before the executor considers switching from index
-// nested-loop join to a hash join built from a full pattern scan. This
-// mirrors the paper's plans: selective node/edge queries stay on NLJ,
-// while multi-hop traversals and triangle counting switch to hash joins
-// with full scans.
-const hashJoinMinInput = 1024
+// defaultHashJoinMinInput is the default number of input bindings that
+// must stream through a pattern before the executor considers switching
+// from index nested-loop join to a hash join built from a full pattern
+// scan. This mirrors the paper's plans: selective node/edge queries
+// stay on NLJ, while multi-hop traversals and triangle counting switch
+// to hash joins with full scans. Tunable per engine via
+// Engine.HashJoinThreshold for the Tables 5–9 crossover ablation.
+const defaultHashJoinMinInput = 1024
+
+// hashState is the lazily built hash table of one BGP join step. It is
+// shared by the serial driver and all parallel workers: built flips to
+// true only after table is fully populated (the atomic store publishes
+// the map), so a reader that observes built==true probes a complete
+// table, while readers that still see false keep using the index NLJ
+// against the same snapshot order — the two access paths emit rows in
+// the same order for the store's index geometry, so the switch point is
+// invisible in the output (DESIGN.md §10).
+type hashState struct {
+	mu       sync.Mutex
+	built    atomic.Bool
+	keySlots []int // var slots in the outer binding forming the join key
+	keyPos   []int // 0=S,1=P,2=O,3=G
+	table    map[[4]store.ID][]store.IDQuad
+}
+
+// keyOf projects a quad onto the join key chosen at build time.
+func (hs *hashState) keyOf(q store.IDQuad) [4]store.ID {
+	var key [4]store.ID
+	vals := [4]store.ID{q.S, q.P, q.C, q.G}
+	for i, pos := range hs.keyPos {
+		key[i] = vals[pos]
+	}
+	return key
+}
+
+// bgpShared is the state of one BGP evaluation shared across the serial
+// driver and all its parallel workers: resolved patterns, join order,
+// filter placement, the lazily built hash tables, and the per-step
+// input counters that drive the adaptive NLJ/hash switch.
+type bgpShared struct {
+	ec           *execCtx
+	rps          []resolvedPattern
+	order        []int
+	filterAt     [][]*filterOp
+	finalFilters []*filterOp
+	hashes       []hashState
+	inputSeen    []atomic.Int64
+}
+
+// bgpWalker is the per-goroutine execution state walking the join tree:
+// its own undo stack and row sink over a binding it owns exclusively.
+type bgpWalker struct {
+	sh    *bgpShared
+	undos []undoList
+	emit  func(binding) bool
+}
+
+func (w *bgpWalker) emitRow(b binding) bool {
+	ec := w.sh.ec
+	for _, f := range w.sh.finalFilters {
+		v, err := evalBool(ec, f.cond, b)
+		if err != nil || !v {
+			return true
+		}
+	}
+	return w.emit(b)
+}
+
+// step advances the join recursion by one pattern. It is the serial
+// executor verbatim; parallel workers run the same code over disjoint
+// morsels of the first step's scan.
+func (w *bgpWalker) step(depth int, b binding) bool {
+	sh := w.sh
+	ec := sh.ec
+	// Cooperative cancellation: the guard latches its error and the
+	// recursion unwinds; the source reports it on return.
+	if !ec.guard.poll() {
+		return false
+	}
+	for _, f := range sh.filterAt[depth] {
+		v, err := evalBool(ec, f.cond, b)
+		if err != nil || !v {
+			return true // filtered out; keep going
+		}
+	}
+	if depth == len(sh.order) {
+		return w.emitRow(b)
+	}
+	rp := &sh.rps[sh.order[depth]]
+	hs := &sh.hashes[depth]
+	seen := sh.inputSeen[depth].Add(1)
+
+	// Decide whether to (lazily) switch this step to a hash join.
+	if !hs.built.Load() && !ec.noHashJoin && seen > int64(ec.hashMin) &&
+		rp.estConst < 64*int(seen) {
+		sh.buildHash(depth, rp, b)
+	}
+
+	if hs.built.Load() {
+		var key [4]store.ID
+		usable := true
+		for i, slot := range hs.keySlots {
+			if b[slot] == store.NoID {
+				usable = false // heterogeneous boundness: NLJ fallback
+				break
+			}
+			key[i] = b[slot]
+		}
+		if usable {
+			for _, q := range hs.table[key] {
+				if !rp.bindQuad(b, q, &w.undos[depth]) {
+					continue
+				}
+				// Probed rows bypass ec.scan, so they tick the guard
+				// here to stay inside the bindings budget.
+				if !ec.guard.tick() {
+					w.undos[depth].revert(b)
+					return false
+				}
+				// Re-check non-key bound positions (vars bound after
+				// the table was built are validated by bindQuad).
+				cont := w.step(depth+1, b)
+				w.undos[depth].revert(b)
+				if !cont {
+					return false
+				}
+			}
+			return true
+		}
+	}
+
+	// Index nested-loop join.
+	stopped := false
+	ec.scan(rp.boundPattern(b), func(q store.IDQuad) bool {
+		if !rp.matchesGraphCtx(q) {
+			return true
+		}
+		if !rp.bindQuad(b, q, &w.undos[depth]) {
+			return true
+		}
+		cont := w.step(depth+1, b)
+		w.undos[depth].revert(b)
+		if !cont {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	return !stopped
+}
+
+// buildHash populates the hash table for one join step. The first
+// binding to cross the threshold builds (partitioned across workers
+// when the parallel budget allows); concurrent workers crossing the
+// threshold block on the mutex and then probe the finished table, while
+// workers still under the threshold keep using NLJ.
+func (sh *bgpShared) buildHash(depth int, rp *resolvedPattern, b binding) {
+	hs := &sh.hashes[depth]
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	if hs.built.Load() {
+		return
+	}
+	ec := sh.ec
+	// Join key: pattern var positions currently bound in b.
+	addKey := func(pos int, r posRef) {
+		if r.isVar && b[r.slot] != store.NoID {
+			hs.keySlots = append(hs.keySlots, r.slot)
+			hs.keyPos = append(hs.keyPos, pos)
+		}
+	}
+	addKey(0, rp.qp.s)
+	addKey(1, rp.qp.p)
+	addKey(2, rp.qp.o)
+	if rp.qp.g.kind == GraphVar {
+		addKey(3, posRef{isVar: true, slot: rp.qp.g.slot})
+	}
+	hs.table = make(map[[4]store.ID][]store.IDQuad)
+	if ec.parallelism > 1 && ec.parallelHashBuild(rp, hs) {
+		hs.built.Store(true)
+		return
+	}
+	ec.scan(rp.constPattern(), func(q store.IDQuad) bool {
+		if !rp.matchesGraphCtx(q) {
+			return true
+		}
+		key := hs.keyOf(q)
+		hs.table[key] = append(hs.table[key], q)
+		return true
+	})
+	hs.built.Store(true)
+}
 
 func (o *bgpOp) apply(ec *execCtx, in source) source {
 	return func(yield func(binding) bool) error {
@@ -340,137 +548,23 @@ func (o *bgpOp) apply(ec *execCtx, in source) source {
 			}
 		}
 
-		// hash tables built lazily per pattern step.
-		type hashState struct {
-			built bool
-			// key positions: which of S,P,O,G of the pattern join with
-			// already-bound vars (decided when built, from the binding).
-			keySlots []int // var slots in the outer binding
-			keyPos   []int // 0=S,1=P,2=O,3=G
-			table    map[[4]store.ID][]store.IDQuad
+		sh := &bgpShared{
+			ec:           ec,
+			rps:          rps,
+			order:        order,
+			filterAt:     filterAt,
+			finalFilters: finalFilters,
+			hashes:       make([]hashState, len(order)),
+			inputSeen:    make([]atomic.Int64, len(order)),
 		}
-		hashes := make([]hashState, len(order))
-		inputSeen := make([]int, len(order))
-		undos := make([]undoList, len(order))
-
-		var step func(depth int, b binding) bool
-		emitRow := func(b binding) bool {
-			for _, f := range finalFilters {
-				v, err := evalBool(ec, f.cond, b)
-				if err != nil || !v {
-					return true
-				}
-			}
-			return yield(b)
-		}
-		step = func(depth int, b binding) bool {
-			// Cooperative cancellation: the guard latches its error and
-			// the recursion unwinds; the source reports it on return.
-			if !ec.guard.poll() {
-				return false
-			}
-			for _, f := range filterAt[depth] {
-				v, err := evalBool(ec, f.cond, b)
-				if err != nil || !v {
-					return true // filtered out; keep going
-				}
-			}
-			if depth == len(order) {
-				return emitRow(b)
-			}
-			rp := &rps[order[depth]]
-			inputSeen[depth]++
-			hs := &hashes[depth]
-
-			// Decide whether to (lazily) switch this step to a hash join.
-			if !hs.built && !ec.noHashJoin && inputSeen[depth] > hashJoinMinInput &&
-				rp.estConst < 64*inputSeen[depth] {
-				hs.built = true
-				hs.table = make(map[[4]store.ID][]store.IDQuad)
-				// Join key: pattern var positions currently bound in b.
-				addKey := func(pos int, r posRef) {
-					if r.isVar && b[r.slot] != store.NoID {
-						hs.keySlots = append(hs.keySlots, r.slot)
-						hs.keyPos = append(hs.keyPos, pos)
-					}
-				}
-				addKey(0, rp.qp.s)
-				addKey(1, rp.qp.p)
-				addKey(2, rp.qp.o)
-				if rp.qp.g.kind == GraphVar {
-					addKey(3, posRef{isVar: true, slot: rp.qp.g.slot})
-				}
-				ec.scan(rp.constPattern(), func(q store.IDQuad) bool {
-					if !rp.matchesGraphCtx(q) {
-						return true
-					}
-					var key [4]store.ID
-					vals := [4]store.ID{q.S, q.P, q.C, q.G}
-					for i, pos := range hs.keyPos {
-						key[i] = vals[pos]
-					}
-					hs.table[key] = append(hs.table[key], q)
-					return true
-				})
-			}
-
-			if hs.built {
-				var key [4]store.ID
-				usable := true
-				for i, slot := range hs.keySlots {
-					if b[slot] == store.NoID {
-						usable = false // heterogeneous boundness: NLJ fallback
-						break
-					}
-					key[i] = b[slot]
-				}
-				if !usable {
-					goto nlj
-				}
-				for _, q := range hs.table[key] {
-					if !rp.bindQuad(b, q, &undos[depth]) {
-						continue
-					}
-					// Probed rows bypass ec.scan, so they tick the
-					// guard here to stay inside the bindings budget.
-					if !ec.guard.tick() {
-						undos[depth].revert(b)
-						return false
-					}
-					// Re-check non-key bound positions (vars bound after
-					// the table was built are validated by bindQuad).
-					cont := step(depth+1, b)
-					undos[depth].revert(b)
-					if !cont {
-						return false
-					}
-				}
-				return true
-			}
-
-		nlj:
-			// Index nested-loop join.
-			stopped := false
-			ec.scan(rp.boundPattern(b), func(q store.IDQuad) bool {
-				if !rp.matchesGraphCtx(q) {
-					return true
-				}
-				if !rp.bindQuad(b, q, &undos[depth]) {
-					return true
-				}
-				cont := step(depth+1, b)
-				undos[depth].revert(b)
-				if !cont {
-					stopped = true
-					return false
-				}
-				return true
-			})
-			return !stopped
-		}
-
+		w := &bgpWalker{sh: sh, undos: make([]undoList, len(order)), emit: yield}
 		err := in(func(b binding) bool {
-			return step(0, b)
+			if ec.parallelism > 1 {
+				if handled, cont := sh.tryParallel(b, yield); handled {
+					return cont
+				}
+			}
+			return w.step(0, b)
 		})
 		if err == nil && ec.guard != nil {
 			err = ec.guard.Err()
@@ -828,7 +922,7 @@ func (o *subselectOp) apply(ec *execCtx, in source) source {
 	return func(yield func(binding) bool) error {
 		// Evaluate the sub-select once, independently (SPARQL bottom-up
 		// semantics), then join with the input stream.
-		subCtx := &execCtx{st: ec.st, models: ec.models, singleModel: ec.singleModel, vt: o.plan.vt, noHashJoin: ec.noHashJoin, guard: ec.guard}
+		subCtx := ec.child(o.plan.vt)
 		rows, err := evalSelect(subCtx, o.plan)
 		if err != nil {
 			return err
@@ -882,7 +976,7 @@ func (o *subselectOp) apply(ec *execCtx, in source) source {
 func (o *subselectOp) explain(e *explainer) {
 	e.printf("SubSelect (join on projected vars):")
 	e.indent++
-	sub := &explainer{ec: &execCtx{st: e.ec.st, models: e.ec.models, singleModel: e.ec.singleModel, vt: o.plan.vt}, indent: e.indent}
+	sub := &explainer{ec: e.ec.child(o.plan.vt), indent: e.indent}
 	for _, sop := range o.plan.pipeline {
 		sop.explain(sub)
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"sync/atomic"
 	"time"
 )
 
@@ -69,13 +70,20 @@ const guardPollInterval = 256
 // poll it between expansion steps. The first violation latches into err
 // and every later tick/poll fails fast, so the pipeline unwinds
 // promptly. A nil *guard is inert.
+//
+// All counters are atomic: one guard is shared by every worker of a
+// parallel query (morsel scans, partitioned hash builds, path-search
+// frontier expansion), so workers tick and poll it concurrently without
+// extra locking, and the first violation from any worker stops all of
+// them. At Parallelism=1 the counters see exactly the serial sequence
+// of events, so the budget semantics are unchanged.
 type guard struct {
 	ctx         context.Context
-	maxBindings int
+	maxBindings int64
 	maxRows     int
-	bindings    int
-	polls       int
-	err         error
+	bindings    atomic.Int64
+	events      atomic.Uint64
+	err         atomic.Pointer[QueryError]
 }
 
 // newGuard returns nil (no overhead) when the context can never fire
@@ -84,44 +92,68 @@ func newGuard(ctx context.Context, b Budget) *guard {
 	if ctx.Done() == nil && b.MaxBindings <= 0 && b.MaxRows <= 0 {
 		return nil
 	}
-	return &guard{ctx: ctx, maxBindings: b.MaxBindings, maxRows: b.MaxRows}
+	return &guard{ctx: ctx, maxBindings: int64(b.MaxBindings), maxRows: b.MaxRows}
+}
+
+// fail latches the first violation; later racers lose the CAS and are
+// dropped, preserving the serial "first error wins" behavior.
+func (g *guard) fail(qe *QueryError) {
+	g.err.CompareAndSwap(nil, qe)
 }
 
 // tick records one intermediate binding and occasionally polls the
 // context. It reports false when the query must stop.
 func (g *guard) tick() bool {
+	return g.tickN(1)
+}
+
+// tickN records n intermediate bindings at once — the batch form used
+// by parallel workers so that per-row accounting does not serialize
+// them on the shared counter. Ticking n rows in one call is equivalent
+// to n ticks for budget purposes; the context is still polled at every
+// guardPollInterval boundary the batch crosses.
+func (g *guard) tickN(n int) bool {
 	if g == nil {
 		return true
 	}
-	if g.err != nil {
+	if g.err.Load() != nil {
 		return false
 	}
-	g.bindings++
-	if g.maxBindings > 0 && g.bindings > g.maxBindings {
-		g.err = &QueryError{Kind: ErrBudgetExceeded,
-			Msg: fmt.Sprintf("query exceeded the budget of %d intermediate bindings", g.maxBindings)}
+	if n <= 0 {
+		return true
+	}
+	total := g.bindings.Add(int64(n))
+	if g.maxBindings > 0 && total > g.maxBindings {
+		g.fail(&QueryError{Kind: ErrBudgetExceeded,
+			Msg: fmt.Sprintf("query exceeded the budget of %d intermediate bindings", g.maxBindings)})
 		return false
 	}
-	return g.poll()
+	return g.pollEvery(n)
 }
 
-// poll checks the context every guardPollInterval calls. It reports
-// false when the query must stop.
+// poll checks the context every guardPollInterval guard events. It
+// reports false when the query must stop.
 func (g *guard) poll() bool {
 	if g == nil {
 		return true
 	}
-	if g.err != nil {
+	if g.err.Load() != nil {
 		return false
 	}
-	g.polls++
-	if g.polls < guardPollInterval {
+	return g.pollEvery(1)
+}
+
+// pollEvery advances the event counter by n and checks the context's
+// done channel when the counter crosses a guardPollInterval boundary,
+// keeping the hot path at one atomic add per event batch.
+func (g *guard) pollEvery(n int) bool {
+	now := g.events.Add(uint64(n))
+	if now/guardPollInterval == (now-uint64(n))/guardPollInterval {
 		return true
 	}
-	g.polls = 0
 	select {
 	case <-g.ctx.Done():
-		g.err = ctxQueryError(g.ctx.Err())
+		g.fail(ctxQueryError(g.ctx.Err()))
 		return false
 	default:
 		return true
@@ -133,7 +165,10 @@ func (g *guard) Err() error {
 	if g == nil {
 		return nil
 	}
-	return g.err
+	if qe := g.err.Load(); qe != nil {
+		return qe
+	}
+	return nil
 }
 
 // checkRows enforces MaxRows against a materialized row count.
@@ -141,10 +176,8 @@ func (g *guard) checkRows(n int) bool {
 	if g == nil || g.maxRows <= 0 || n <= g.maxRows {
 		return g.Err() == nil
 	}
-	if g.err == nil {
-		g.err = &QueryError{Kind: ErrBudgetExceeded,
-			Msg: fmt.Sprintf("query exceeded the budget of %d result rows", g.maxRows)}
-	}
+	g.fail(&QueryError{Kind: ErrBudgetExceeded,
+		Msg: fmt.Sprintf("query exceeded the budget of %d result rows", g.maxRows)})
 	return false
 }
 

@@ -2,6 +2,8 @@ package sparql
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/store"
 )
@@ -45,7 +47,7 @@ func (o *pathOp) apply(ec *execCtx, in source) source {
 					evalErr = err
 					return false
 				}
-				for node := range reached {
+				for _, node := range reached {
 					if endBound {
 						if node == endID {
 							if !yield(b) {
@@ -72,7 +74,7 @@ func (o *pathOp) apply(ec *execCtx, in source) source {
 					evalErr = err
 					return false
 				}
-				for node := range reached {
+				for _, node := range reached {
 					old := b[o.s.slot]
 					if old != store.NoID && old != node {
 						continue
@@ -108,13 +110,23 @@ func (o *pathOp) endpoint(ec *execCtx, r posRef, b binding) (store.ID, bool) {
 	return store.NoID, false
 }
 
-// closure computes the set of nodes reachable from start via the inner
-// path repeated [min..max] times (max 0 = unlimited), using BFS with
-// distinct-node semantics.
-func (o *pathOp) closure(ec *execCtx, b binding, start store.ID, reverse bool) (map[store.ID]struct{}, error) {
-	reached := make(map[store.ID]struct{})
+// closure computes the nodes reachable from start via the inner path
+// repeated [min..max] times (max 0 = unlimited), using BFS with
+// distinct-node semantics. The result is in BFS discovery order —
+// deterministic given the store's deterministic scan order — so the
+// emission order of path solutions does not depend on whether the
+// frontier was expanded serially or in parallel.
+func (o *pathOp) closure(ec *execCtx, b binding, start store.ID, reverse bool) ([]store.ID, error) {
+	var reached []store.ID
+	inReached := make(map[store.ID]struct{})
+	add := func(id store.ID) {
+		if _, dup := inReached[id]; !dup {
+			inReached[id] = struct{}{}
+			reached = append(reached, id)
+		}
+	}
 	if o.min == 0 {
-		reached[start] = struct{}{}
+		add(start)
 	}
 	frontier := []store.ID{start}
 	visited := map[store.ID]struct{}{start: {}}
@@ -124,21 +136,15 @@ func (o *pathOp) closure(ec *execCtx, b binding, start store.ID, reverse bool) (
 		if o.max > 0 && depth > o.max {
 			break
 		}
+		succs, err := o.expandFrontier(ec, b, frontier, reverse)
+		if err != nil {
+			return nil, err
+		}
 		var next []store.ID
-		for _, node := range frontier {
-			// Cooperative cancellation between node expansions: a
-			// multi-hop traversal over a dense graph can spend its
-			// whole life inside this loop.
-			if !ec.guard.poll() {
-				return nil, ec.guard.Err()
-			}
-			succ, err := o.step(ec, b, o.inner, node, reverse)
-			if err != nil {
-				return nil, err
-			}
+		for _, succ := range succs {
 			for _, s := range succ {
 				if depth >= o.min {
-					reached[s] = struct{}{}
+					add(s)
 				}
 				if _, seen := visited[s]; !seen {
 					visited[s] = struct{}{}
@@ -149,6 +155,81 @@ func (o *pathOp) closure(ec *execCtx, b binding, start store.ID, reverse bool) (
 		frontier = next
 	}
 	return reached, nil
+}
+
+// expandFrontier computes the one-step successor list of every frontier
+// node, fanning out to the query's worker pool when the frontier is
+// wide enough. Results are merged in frontier order, so the BFS
+// discovery order (and thus the solution order) is identical to the
+// serial loop's.
+func (o *pathOp) expandFrontier(ec *execCtx, b binding, frontier []store.ID, reverse bool) ([][]store.ID, error) {
+	succs := make([][]store.ID, len(frontier))
+	workers := 0
+	if ec.parallelism > 1 && len(frontier) >= parallelBFSMinFrontier {
+		want := ec.parallelism
+		if want > len(frontier) {
+			want = len(frontier)
+		}
+		if workers = ec.acquireWorkers(want); workers < 2 {
+			ec.releaseWorkers(workers)
+			workers = 0
+		}
+	}
+	if workers == 0 {
+		for i, node := range frontier {
+			// Cooperative cancellation between node expansions: a
+			// multi-hop traversal over a dense graph can spend its
+			// whole life inside this loop.
+			if !ec.guard.poll() {
+				return nil, ec.guard.Err()
+			}
+			succ, err := o.step(ec, b, o.inner, node, reverse)
+			if err != nil {
+				return nil, err
+			}
+			succs[i] = succ
+		}
+		return succs, nil
+	}
+	defer ec.releaseWorkers(workers)
+	ec.markParallel(workers, len(frontier))
+	errs := make([]error, len(frontier))
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ec.workerEnter()
+			defer ec.workerExit()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(frontier) {
+					return
+				}
+				if !ec.guard.poll() {
+					errs[i] = ec.guard.Err()
+					return
+				}
+				succ, err := o.step(ec, b, o.inner, frontier[i], reverse)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				succs[i] = succ
+			}
+		}()
+	}
+	wg.Wait()
+	// Report the first error in frontier order, matching the serial loop.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return succs, nil
 }
 
 // step enumerates one-step successors of node via path p (predecessors
@@ -214,15 +295,7 @@ func (o *pathOp) step(ec *execCtx, b binding, p Path, node store.ID, reverse boo
 	case PathStar, PathPlus, PathOpt:
 		inner, min, max := innerOf(x)
 		sub := &pathOp{s: o.s, o: o.o, g: o.g, inner: inner, min: min, max: max, c: o.c}
-		reached, err := sub.closure(ec, b, node, reverse)
-		if err != nil {
-			return nil, err
-		}
-		out := make([]store.ID, 0, len(reached))
-		for r := range reached {
-			out = append(out, r)
-		}
-		return out, nil
+		return sub.closure(ec, b, node, reverse)
 	case PathVar:
 		return nil, fmt.Errorf("sparql: variable predicates are not supported inside path closures")
 	default:

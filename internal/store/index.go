@@ -159,8 +159,13 @@ func (ix *Index) less(a, b IDQuad) bool {
 // Build replaces the index contents with rows, sorting by the key. The
 // slice is not retained by the caller afterwards.
 func (ix *Index) Build(rows []IDQuad) {
+	ix.build(rows, 1)
+}
+
+// build is Build with a worker budget for the sort (see sortQuads).
+func (ix *Index) build(rows []IDQuad, workers int) {
 	ix.rows = rows
-	sort.Slice(ix.rows, func(i, j int) bool { return ix.less(ix.rows[i], ix.rows[j]) })
+	sortQuads(ix.rows, ix.less, workers)
 }
 
 // prefixLen returns how many leading key columns of the pattern are bound.
@@ -250,12 +255,19 @@ func (ix *Index) Contains(q IDQuad) bool {
 	return hi > lo
 }
 
-// insertSorted inserts q preserving order (used by compaction).
+// insertSorted inserts qs preserving order (used by compaction).
 func (ix *Index) insertSorted(qs []IDQuad) {
+	ix.insertSortedN(qs, 1)
+}
+
+// insertSortedN is insertSorted with a worker budget for sorting the
+// incoming batch — the bulk-load path hands each index a slice of the
+// store's parallelism so index merges and batch sorts overlap.
+func (ix *Index) insertSortedN(qs []IDQuad, workers int) {
 	if len(qs) == 0 {
 		return
 	}
-	sort.Slice(qs, func(i, j int) bool { return ix.less(qs[i], qs[j]) })
+	sortQuads(qs, ix.less, workers)
 	merged := make([]IDQuad, 0, len(ix.rows)+len(qs))
 	i, j := 0, 0
 	for i < len(ix.rows) && j < len(qs) {

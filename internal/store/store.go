@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -37,6 +38,12 @@ type Store struct {
 	deltaSet map[IDQuad]struct{} // membership for delta
 	dead     map[IDQuad]struct{} // tombstones for base rows
 	count    int                 // live quads = base + delta - dead
+
+	// par is the worker budget for bulk operations (Load, Compact,
+	// CreateIndex): all configured indexes are built concurrently and
+	// large batch sorts are chunked across goroutines. 0 = GOMAXPROCS,
+	// 1 = fully serial. See SetParallelism.
+	par atomic.Int32
 
 	// fault optionally perturbs scans for degradation testing; nil in
 	// production. See FaultInjector.
@@ -83,6 +90,79 @@ func NewWithIndexes(specs []string) (*Store, error) {
 // Dict exposes the values table.
 func (s *Store) Dict() *Dict { return s.dict }
 
+// SetParallelism sets the worker budget for bulk operations (Load,
+// Compact, CreateIndex). n <= 0 restores the default of
+// runtime.GOMAXPROCS(0); 1 makes bulk loads fully serial. Safe to call
+// concurrently with readers and writers.
+func (s *Store) SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.par.Store(int32(n))
+}
+
+// Parallelism returns the effective bulk-operation worker budget.
+func (s *Store) Parallelism() int {
+	if n := s.par.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// insertAllLocked merges a deduplicated batch into every index. With a
+// worker budget above 1 the per-index merges run concurrently, and each
+// index's batch sort gets an equal share of the remaining budget —
+// bulk load builds all semantic-network indexes at once instead of one
+// after another. Must be called with mu held.
+func (s *Store) insertAllLocked(batch []IDQuad) {
+	if len(batch) == 0 {
+		return
+	}
+	w := s.Parallelism()
+	if w <= 1 {
+		for _, ix := range s.indexes {
+			ix.insertSorted(append([]IDQuad(nil), batch...))
+		}
+		return
+	}
+	sortW := w / len(s.indexes)
+	if sortW < 1 {
+		sortW = 1
+	}
+	var wg sync.WaitGroup
+	for _, ix := range s.indexes {
+		wg.Add(1)
+		go func(ix *Index) {
+			defer wg.Done()
+			ix.insertSortedN(append([]IDQuad(nil), batch...), sortW)
+		}(ix)
+	}
+	wg.Wait()
+}
+
+// removeAllLocked applies tombstones to every index, concurrently when
+// the worker budget allows. Must be called with mu held.
+func (s *Store) removeAllLocked(del map[IDQuad]struct{}) {
+	if len(del) == 0 {
+		return
+	}
+	if s.Parallelism() <= 1 || len(s.indexes) == 1 {
+		for _, ix := range s.indexes {
+			ix.remove(del)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, ix := range s.indexes {
+		wg.Add(1)
+		go func(ix *Index) {
+			defer wg.Done()
+			ix.remove(del)
+		}(ix)
+	}
+	wg.Wait()
+}
+
 // CreateIndex adds a semantic-network index with the given key spec
 // (e.g. "GSPCM"), populating it from the current contents.
 func (s *Store) CreateIndex(spec string) error {
@@ -107,7 +187,7 @@ func (s *Store) createIndexLocked(spec string) error {
 		for _, q := range s.indexes[0].rows {
 			rows = append(rows, q)
 		}
-		ix.Build(rows)
+		ix.build(rows, s.Parallelism())
 	}
 	s.indexes = append(s.indexes, ix)
 	return nil
@@ -287,9 +367,7 @@ func (s *Store) Load(model string, quads []rdf.Quad) (int, error) {
 		batch[row] = struct{}{}
 		fresh = append(fresh, row)
 	}
-	for _, ix := range s.indexes {
-		ix.insertSorted(append([]IDQuad(nil), fresh...))
-	}
+	s.insertAllLocked(fresh)
 	s.count += len(fresh)
 	return len(fresh), nil
 }
@@ -381,15 +459,11 @@ func (s *Store) Compact() {
 
 func (s *Store) compactLocked() {
 	if len(s.dead) > 0 {
-		for _, ix := range s.indexes {
-			ix.remove(s.dead)
-		}
+		s.removeAllLocked(s.dead)
 		s.dead = make(map[IDQuad]struct{})
 	}
 	if len(s.delta) > 0 {
-		for _, ix := range s.indexes {
-			ix.insertSorted(append([]IDQuad(nil), s.delta...))
-		}
+		s.insertAllLocked(s.delta)
 		s.delta = s.delta[:0]
 		s.deltaSet = make(map[IDQuad]struct{})
 	}
