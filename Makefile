@@ -3,6 +3,12 @@ FUZZTIME ?= 30s
 BENCH_WORKERS ?= 8
 BENCH_ITERS ?= 3
 BENCH_SCALE ?= 0.05
+# Profiling-overhead gate: fail when running EQ1-EQ12 with per-operator
+# profiling on is more than this percent slower than with it off.
+# Overhead runs take best-of-OVERHEAD_ITERS to damp scheduler jitter at
+# smoke scale.
+BENCH_MAX_OVERHEAD ?= 5
+OVERHEAD_ITERS ?= 5
 
 .PHONY: check vet lint build test race bench bench-smoke fuzz-smoke
 
@@ -34,8 +40,17 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 	$(GO) run ./cmd/benchpaper -parallelbench -workers $(BENCH_WORKERS) -iters $(BENCH_ITERS) -scale $(BENCH_SCALE) -out BENCH_parallel.json
+	$(MAKE) bench-overhead
+
+## bench-overhead: run EQ1-EQ12 on both schemes with profiling off and
+## on, write the differential to BENCH_profile_overhead.json, and fail
+## when the aggregate overhead exceeds BENCH_MAX_OVERHEAD percent.
+bench-overhead:
+	$(GO) run ./cmd/benchpaper -profileoverhead -maxoverhead $(BENCH_MAX_OVERHEAD) -iters $(OVERHEAD_ITERS) -scale $(BENCH_SCALE) -out BENCH_profile_overhead.json
 
 ## bench-smoke: one-iteration bench at reduced scale (the CI gate).
+## The overhead differential keeps best-of-$(OVERHEAD_ITERS) even here:
+## best-of-1 at smoke scale is all scheduler jitter.
 bench-smoke:
 	$(MAKE) bench BENCH_ITERS=1 BENCH_SCALE=0.02
 

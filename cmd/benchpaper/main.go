@@ -34,8 +34,11 @@ func main() {
 	seed := flag.Int64("seed", 0, "override generator seed")
 	parallelBench := flag.Bool("parallelbench", false, "run the serial-vs-parallel comparison (morsel-driven executor + bulk load) instead of the paper tables")
 	workers := flag.Int("workers", 8, "worker budget for -parallelbench")
-	iters := flag.Int("iters", 3, "timed iterations per query for -parallelbench (1 = smoke)")
-	out := flag.String("out", "", "write the -parallelbench JSON report to this file (default stdout)")
+	iters := flag.Int("iters", 3, "timed iterations per query for -parallelbench and -profileoverhead (1 = smoke)")
+	out := flag.String("out", "", "write the -parallelbench/-profileoverhead JSON report to this file (default stdout)")
+	profileOverhead := flag.Bool("profileoverhead", false, "measure EQ1-EQ12 with vs without per-operator profiling and report the aggregate overhead")
+	maxOverhead := flag.Float64("maxoverhead", 0, "fail when -profileoverhead exceeds this percentage (0 = report only)")
+	explainAnalyze := flag.Bool("explainanalyze", false, "print EXPLAIN ANALYZE for every paper query on both schemes")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -56,6 +59,38 @@ func main() {
 		time.Since(start).Round(time.Millisecond), env.GraphStats.Vertices, env.GraphStats.Edges, env.Tag, env.TagNodeCount)
 
 	switch {
+	case *explainAnalyze:
+		txt, err := bench.ExplainAnalyzeAll(ctx, env)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchpaper:", err)
+			os.Exit(1)
+		}
+		fmt.Print(txt)
+	case *profileOverhead:
+		rep, err := bench.ProfileOverhead(ctx, env, *iters)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchpaper:", err)
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchpaper:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if *out == "" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchpaper:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "profiling overhead: %.2f%% (plain %.1fms, profiled %.1fms, best of %d)\n",
+			rep.OverheadPct, rep.PlainMS, rep.ProfiledMS, rep.Iters)
+		if *maxOverhead > 0 && rep.OverheadPct > *maxOverhead {
+			fmt.Fprintf(os.Stderr, "benchpaper: profiling overhead %.2f%% exceeds the %.1f%% gate\n",
+				rep.OverheadPct, *maxOverhead)
+			os.Exit(1)
+		}
 	case *parallelBench:
 		rep, err := bench.ParallelBench(ctx, env, *workers, *iters)
 		if err != nil {

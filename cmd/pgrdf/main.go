@@ -210,6 +210,7 @@ func runQuery(args []string, explain bool) error {
 	queryText := fs.String("q", "", "SPARQL query text (@file to read from a file)")
 	indexes := fs.String("indexes", "PCSGM,PSCGM,SPCGM,GSPCM", "comma-separated semantic network indexes")
 	limit := fs.Int("print", 100, "max rows to print")
+	analyze := fs.Bool("analyze", false, "execute the query and annotate the plan with per-operator actuals (explain only)")
 	fs.Parse(args)
 	if *data == "" || *queryText == "" {
 		return fmt.Errorf("query requires -data and -q")
@@ -228,7 +229,12 @@ func runQuery(args []string, explain bool) error {
 	}
 	eng := sparql.NewEngine(st)
 	if explain {
-		plan, err := eng.Explain("data", q)
+		var plan string
+		if *analyze {
+			plan, err = eng.ExplainAnalyzeContext(ctx, "data", q)
+		} else {
+			plan, err = eng.Explain("data", q)
+		}
 		if err != nil {
 			return err
 		}
@@ -328,6 +334,9 @@ func runServe(args []string) error {
 	maxBindings := fs.Int("max-bindings", 0, "per-query intermediate-binding budget (0 = default, negative = unlimited)")
 	parallelism := fs.Int("parallelism", 0, "per-query worker budget for intra-query parallelism (0 = GOMAXPROCS, 1 or negative = serial)")
 	drainWait := fs.Duration("drain", 15*time.Second, "max time to wait for in-flight queries on shutdown")
+	slowLog := fs.String("slowlog", "", "slow-query log file (\"-\" = stderr, empty = disabled)")
+	slowThreshold := fs.Duration("slow-threshold", time.Second, "wall time at or over which a query is slow-logged (0 = log every query)")
+	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	fs.Parse(args)
 
 	var st *store.Store
@@ -362,6 +371,24 @@ func runServe(args []string) error {
 	cfg.MaxRows = *maxRows
 	cfg.MaxBindings = *maxBindings
 	cfg.Parallelism = *parallelism
+	cfg.EnablePprof = *enablePprof
+	if *slowLog != "" {
+		if *slowLog == "-" {
+			cfg.SlowQueryLog = os.Stderr
+		} else {
+			f, ferr := os.OpenFile(*slowLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if ferr != nil {
+				return ferr
+			}
+			defer f.Close()
+			cfg.SlowQueryLog = f
+		}
+		if *slowThreshold <= 0 {
+			cfg.SlowQueryThreshold = -1 // log every query
+		} else {
+			cfg.SlowQueryThreshold = *slowThreshold
+		}
+	}
 	if *parallelism < 0 {
 		st.SetParallelism(1) // serial bulk loads too
 	} else {
@@ -369,8 +396,8 @@ func runServe(args []string) error {
 	}
 	h := httpapi.NewServerWithConfig(st, cfg)
 	h.ReadOnly = *readOnly
-	fmt.Fprintf(os.Stderr, "SPARQL endpoint on http://%s/sparql (updates: http://%s/update, stats: http://%s/stats)\n",
-		*addr, *addr, *addr)
+	fmt.Fprintf(os.Stderr, "SPARQL endpoint on http://%s/sparql (updates: http://%s/update, stats: http://%s/stats, metrics: http://%s/metrics)\n",
+		*addr, *addr, *addr, *addr)
 
 	srv := &http.Server{Addr: *addr, Handler: h}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -175,6 +175,20 @@ func ParallelDifferential(ctx context.Context, env *Env, workers int) error {
 				return fmt.Errorf("differential %s/%s: parallel result differs from serial\n--- serial ---\n%s\n--- parallel ---\n%s",
 					se.Scheme, name, want, got)
 			}
+			// Third leg: parallel execution with per-operator profiling
+			// on must stay byte-identical too (the instrumentation layer
+			// may not perturb morsel merge order), and the profile must
+			// actually carry the plan.
+			pres, prof, err := par.QueryProfiledContext(ctx, model, queries[name])
+			if err != nil {
+				return fmt.Errorf("differential %s/%s (profiled): %w", se.Scheme, name, err)
+			}
+			if pres.String() != want.String() {
+				return fmt.Errorf("differential %s/%s: profiled parallel result differs from serial", se.Scheme, name)
+			}
+			if prof == nil || len(prof.Plan) == 0 {
+				return fmt.Errorf("differential %s/%s: profiled run returned an empty profile", se.Scheme, name)
+			}
 		}
 		if n := par.ParallelStats().ActiveWorkers; n != 0 {
 			return fmt.Errorf("differential %s: %d worker goroutines leaked", se.Scheme, n)

@@ -1,0 +1,132 @@
+package httpapi
+
+// GET /metrics — Prometheus text exposition (version 0.0.4), hand
+// rolled over the engine's and store's atomic counters so the endpoint
+// needs no dependencies and costs one snapshot per scrape.
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// metricsWriter accumulates one exposition; HELP/TYPE headers are
+// emitted once per metric family.
+type metricsWriter struct {
+	sb strings.Builder
+}
+
+func (m *metricsWriter) family(name, help, typ string) {
+	fmt.Fprintf(&m.sb, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// sample writes one sample line. Labels alternate name, value; label
+// values are escaped per the exposition format.
+func (m *metricsWriter) sample(name string, value string, labels ...string) {
+	m.sb.WriteString(name)
+	if len(labels) > 0 {
+		m.sb.WriteByte('{')
+		for i := 0; i+1 < len(labels); i += 2 {
+			if i > 0 {
+				m.sb.WriteByte(',')
+			}
+			// %q escapes quotes, backslashes and newlines as the
+			// exposition format requires.
+			fmt.Fprintf(&m.sb, `%s=%q`, labels[i], labels[i+1])
+		}
+		m.sb.WriteByte('}')
+	}
+	m.sb.WriteByte(' ')
+	m.sb.WriteString(value)
+	m.sb.WriteByte('\n')
+}
+
+func (m *metricsWriter) counter(name, help string, v int64, labels ...string) {
+	m.family(name, help, "counter")
+	m.sample(name, fmt.Sprintf("%d", v), labels...)
+}
+
+func (m *metricsWriter) gauge(name, help string, v int64, labels ...string) {
+	m.family(name, help, "gauge")
+	m.sample(name, fmt.Sprintf("%d", v), labels...)
+}
+
+func formatLE(le float64) string {
+	if le < 0 {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%g", le) // %g never emits trailing zeros
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSONError(w, http.StatusMethodNotAllowed, "method", "method not allowed")
+		return
+	}
+	snap := s.eng.MetricsSnapshot()
+	var m metricsWriter
+
+	// Query counters and latency histogram, labelled by query form.
+	m.family("pgrdf_queries_total", "Queries executed, by form.", "counter")
+	for _, f := range snap.Forms {
+		m.sample("pgrdf_queries_total", fmt.Sprintf("%d", f.Queries), "form", f.Form)
+	}
+	m.family("pgrdf_query_errors_total", "Queries that returned an error, by form.", "counter")
+	for _, f := range snap.Forms {
+		m.sample("pgrdf_query_errors_total", fmt.Sprintf("%d", f.Errors), "form", f.Form)
+	}
+	m.family("pgrdf_query_duration_seconds", "Query wall time, by form.", "histogram")
+	for _, f := range snap.Forms {
+		for _, b := range f.Buckets {
+			m.sample("pgrdf_query_duration_seconds_bucket",
+				fmt.Sprintf("%d", b.Count), "form", f.Form, "le", formatLE(b.LE))
+		}
+		m.sample("pgrdf_query_duration_seconds_sum", fmt.Sprintf("%g", f.DurationSum), "form", f.Form)
+		m.sample("pgrdf_query_duration_seconds_count", fmt.Sprintf("%d", f.Queries), "form", f.Form)
+	}
+	m.counter("pgrdf_slow_queries_total",
+		"Queries at or over the slow-query threshold.", snap.SlowQueries)
+
+	// Plan cache.
+	m.counter("pgrdf_plan_cache_hits_total", "Plan cache hits.", snap.PlanCache.Hits)
+	m.counter("pgrdf_plan_cache_misses_total", "Plan cache misses (compilations).", snap.PlanCache.Misses)
+	m.counter("pgrdf_plan_cache_evictions_total", "Plan cache evictions.", snap.PlanCache.Evictions)
+	m.gauge("pgrdf_plan_cache_entries", "Compiled plans currently cached.", int64(snap.PlanCache.Entries))
+
+	// Intra-query parallelism.
+	m.counter("pgrdf_parallel_queries_total", "Queries that ran at least one parallel stage.", snap.Parallel.Queries)
+	m.counter("pgrdf_parallel_workers_total", "Parallel worker goroutines launched.", snap.Parallel.Workers)
+	m.counter("pgrdf_parallel_morsels_total", "Scan morsels executed.", snap.Parallel.Morsels)
+	m.counter("pgrdf_parallel_hash_builds_total", "Partitioned hash-table builds.", snap.Parallel.HashBuilds)
+	m.gauge("pgrdf_active_workers", "Live parallel worker goroutines (leak gauge).", snap.Parallel.ActiveWorkers)
+
+	// Admission control.
+	m.counter("pgrdf_requests_shed_total", "Requests shed with 503 by admission control.", s.shedCount.Load())
+
+	// Store gauges.
+	st := s.eng.Store()
+	m.gauge("pgrdf_quads", "Quads stored across all models.", int64(st.Len()))
+	m.gauge("pgrdf_dict_terms", "Terms in the shared dictionary.", int64(st.Dict().Len()))
+	m.gauge("pgrdf_dict_lexical_bytes", "Lexical bytes held by the dictionary.", st.Dict().LexicalBytes())
+	m.gauge("pgrdf_open_cursors", "Snapshot cursors not yet closed (leak gauge).", int64(st.OpenCursors()))
+
+	// Per-index rows and scan counters.
+	idx := st.IndexStatsSnapshot()
+	sort.Slice(idx, func(i, j int) bool { return idx[i].Spec < idx[j].Spec })
+	m.family("pgrdf_index_rows", "Rows per semantic-network index.", "gauge")
+	for _, is := range idx {
+		m.sample("pgrdf_index_rows", fmt.Sprintf("%d", is.Rows), "index", is.Spec)
+	}
+	m.family("pgrdf_index_range_scans_total", "Range scans served per index.", "counter")
+	for _, is := range idx {
+		m.sample("pgrdf_index_range_scans_total", fmt.Sprintf("%d", is.RangeScans), "index", is.Spec)
+	}
+	m.family("pgrdf_index_full_scans_total", "Full scans served per index.", "counter")
+	for _, is := range idx {
+		m.sample("pgrdf_index_full_scans_total", fmt.Sprintf("%d", is.FullScans), "index", is.Spec)
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(m.sb.String()))
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strings"
 	"sync"
@@ -51,6 +52,17 @@ type Config struct {
 	// morsel-driven intra-query parallelism (see sparql.Engine). 0 uses
 	// the engine default (GOMAXPROCS); <0 forces serial execution.
 	Parallelism int
+	// SlowQueryThreshold is the wall time at or over which a query is
+	// written to SlowQueryLog with its profile attached. 0 uses the
+	// default (1s); <0 logs every query.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog, when set, receives one JSON line per slow query
+	// (see sparql.SlowQueryRecord). Nil disables slow-query logging.
+	SlowQueryLog io.Writer
+	// EnablePprof mounts the net/http/pprof handlers under
+	// /debug/pprof/. Off by default: profiles expose internals, so the
+	// flag is an explicit operator decision.
+	EnablePprof bool
 }
 
 // DefaultConfig returns the production defaults: 30s deadlines, twice
@@ -59,15 +71,16 @@ type Config struct {
 // finite.
 func DefaultConfig() Config {
 	return Config{
-		QueryTimeout:  30 * time.Second,
-		UpdateTimeout: 30 * time.Second,
-		MaxConcurrent: 2 * runtime.GOMAXPROCS(0),
-		MaxQueue:      32,
-		QueueWait:     2 * time.Second,
-		RetryAfter:    1 * time.Second,
-		MaxBodyBytes:  1 << 20,
-		MaxRows:       5_000_000,
-		MaxBindings:   50_000_000,
+		QueryTimeout:       30 * time.Second,
+		UpdateTimeout:      30 * time.Second,
+		MaxConcurrent:      2 * runtime.GOMAXPROCS(0),
+		MaxQueue:           32,
+		QueueWait:          2 * time.Second,
+		RetryAfter:         1 * time.Second,
+		MaxBodyBytes:       1 << 20,
+		MaxRows:            5_000_000,
+		MaxBindings:        50_000_000,
+		SlowQueryThreshold: 1 * time.Second,
 	}
 }
 
@@ -101,6 +114,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBindings == 0 {
 		c.MaxBindings = d.MaxBindings
+	}
+	if c.SlowQueryThreshold == 0 {
+		c.SlowQueryThreshold = d.SlowQueryThreshold
 	}
 	return c
 }
@@ -196,6 +212,9 @@ func (a *admission) close() {
 //	POST /update                       — update via form or raw body
 //	                                     (application/sparql-update)
 //	GET  /stats                        — dataset statistics (JSON)
+//	GET  /export?model=...             — stream one model as N-Quads
+//	GET  /metrics                      — Prometheus text exposition
+//	GET  /debug/pprof/*                — runtime profiles (Config.EnablePprof)
 //
 // SELECT and ASK return application/sparql-results+json; CONSTRUCT
 // returns application/n-quads. The optional `model` parameter names the
@@ -210,6 +229,8 @@ type Server struct {
 	mux *http.ServeMux
 	cfg Config
 	adm *admission
+	// shedCount counts requests rejected with 503 (exported by /metrics).
+	shedCount atomic.Int64
 	// inflight counts admitted requests still executing, for Drain.
 	inflight sync.WaitGroup
 	draining atomic.Bool
@@ -239,6 +260,12 @@ func NewServerWithConfig(st *store.Store, cfg Config) *Server {
 		MaxRows:     max(cfg.MaxRows, 0),
 		MaxBindings: max(cfg.MaxBindings, 0),
 	}
+	if cfg.SlowQueryLog != nil {
+		eng.SlowQueryLog = cfg.SlowQueryLog
+		if cfg.SlowQueryThreshold > 0 {
+			eng.SlowQueryThreshold = cfg.SlowQueryThreshold
+		} // <0 means log everything: the engine's zero threshold
+	}
 	s := &Server{
 		eng: eng,
 		mux: http.NewServeMux(),
@@ -249,6 +276,17 @@ func NewServerWithConfig(st *store.Store, cfg Config) *Server {
 	s.mux.HandleFunc("/update", s.handleUpdate)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/export", s.handleExport)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		// Mounted per-handler (not via the net/http/pprof init side
+		// effect on DefaultServeMux) so the profiles exist only on this
+		// mux and only when the operator opted in.
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -299,6 +337,7 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (func(), bool) {
 }
 
 func (s *Server) shed(w http.ResponseWriter, msg string) {
+	s.shedCount.Add(1)
 	secs := int(s.cfg.RetryAfter / time.Second)
 	if secs < 1 {
 		secs = 1

@@ -110,7 +110,20 @@ type op interface {
 	// given the slots bound before it.
 	bound(before varset) varset
 	explain(e *explainer)
+	// stageID is the operator's slot in the query profile; 0 means the
+	// plan was never numbered (EXISTS sub-pipelines, non-SELECT forms)
+	// and the operator is skipped by the instrumentation layer.
+	stageID() int
 }
+
+// opStage is embedded by every operator to carry its profile stage id,
+// assigned once by numberStages after compilation (profile.go).
+type opStage struct{ sid int }
+
+func (s *opStage) stageID() int   { return s.sid }
+func (s *opStage) setStage(n int) { s.sid = n }
+
+type stageSetter interface{ setStage(int) }
 
 // source produces bindings, calling yield for each; yield returns false
 // to stop early. A source returns an error only on evaluation failure
@@ -131,6 +144,59 @@ type compiled struct {
 	offset     int
 	// grouping is true when GROUP BY is present or any aggregate occurs.
 	grouping bool
+
+	// Profile stage ids for the tail phases of evalSelect (grouping,
+	// ordering, projection) and the total stage count; assigned by
+	// numberStages for plans that flow through compileCached, zero
+	// otherwise. nstages is set on the top-level plan only.
+	groupSid, sortSid, projSid int
+	nstages                    int
+}
+
+// numberStages assigns dense stage ids (starting at 1) to every
+// operator and tail phase of a compiled plan, recursing into union
+// branches, optional/minus inners and sub-select plans. The ids index
+// the preallocated per-stage slots of a queryProfile; operators left at
+// sid 0 are invisible to the profiler.
+func numberStages(cp *compiled) {
+	n := 0
+	numberPlan(cp, &n)
+	cp.nstages = n
+}
+
+func numberPlan(cp *compiled, n *int) {
+	numberOps(cp.pipeline, n)
+	*n++
+	cp.groupSid = *n
+	*n++
+	cp.sortSid = *n
+	*n++
+	cp.projSid = *n
+}
+
+func numberOps(ops []op, n *int) {
+	for _, o := range ops {
+		*n++
+		if ss, ok := o.(stageSetter); ok {
+			ss.setStage(*n)
+		}
+		switch x := o.(type) {
+		case *bgpOp:
+			// One stage per join step, in execution order, right after
+			// the BGP's own stage.
+			*n += len(x.patterns)
+		case *unionOp:
+			for _, br := range x.branches {
+				numberOps(br, n)
+			}
+		case *optionalOp:
+			numberOps(x.inner, n)
+		case *minusOp:
+			numberOps(x.inner, n)
+		case *subselectOp:
+			numberPlan(x.plan, n)
+		}
+	}
 }
 
 type compiledProj struct {

@@ -3,11 +3,13 @@ package sparql
 import (
 	"context"
 	"fmt"
+	"io"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/rdf"
 	"repro/internal/store"
@@ -43,6 +45,23 @@ type Engine struct {
 	// Set it once before serving queries; it is read concurrently.
 	HashJoinThreshold int
 
+	// SlowQueryThreshold is the wall-time at or above which a query is
+	// appended to SlowQueryLog. Zero logs every query (useful when
+	// tracing a single request). Ignored while SlowQueryLog is nil.
+	// Set both once before serving queries; they are read concurrently.
+	SlowQueryThreshold time.Duration
+
+	// SlowQueryLog receives one JSON line per slow query (see
+	// SlowQueryRecord). While it is set, SELECT queries are executed
+	// with profiling on so the log can attach per-operator actuals.
+	SlowQueryLog io.Writer
+
+	// slowMu serializes writes to SlowQueryLog.
+	slowMu sync.Mutex
+
+	// metrics accumulates per-form query counters; see MetricsSnapshot.
+	metrics queryMetrics
+
 	// pstats accumulates intra-query parallelism counters; see
 	// ParallelStats.
 	pstats parallelStats
@@ -50,28 +69,95 @@ type Engine struct {
 	// planCache caches compiled SELECT plans by query text. Compiled
 	// plans are immutable after compilation (all per-run state lives in
 	// the executor), so they are safe to share across goroutines.
-	planMu    sync.RWMutex
-	planCache map[string]*compiled
+	// planInflight deduplicates concurrent misses for the same text:
+	// one goroutine compiles, the rest wait on the call's done channel.
+	planMu       sync.RWMutex
+	planCache    map[string]*compiled
+	planInflight map[string]*compileCall
+
+	planHits      atomic.Int64
+	planMisses    atomic.Int64
+	planEvictions atomic.Int64
 }
 
-// planCacheLimit bounds the compiled-plan cache; beyond it the cache is
-// reset (simple and adequate for workloads with a bounded query set).
+// planCacheLimit bounds the compiled-plan cache; at the limit one
+// arbitrary entry is evicted per insertion, so a workload that cycles
+// through more than planCacheLimit distinct texts degrades to
+// per-entry churn instead of wiping the whole hot set.
 const planCacheLimit = 256
+
+// compileCall is one in-flight compilation shared by every goroutine
+// that missed on the same query text.
+type compileCall struct {
+	done chan struct{}
+	cp   *compiled
+	err  error
+}
 
 // NewEngine returns an engine over the given store.
 func NewEngine(st *store.Store) *Engine {
-	return &Engine{st: st, planCache: make(map[string]*compiled)}
+	return &Engine{
+		st:           st,
+		planCache:    make(map[string]*compiled),
+		planInflight: make(map[string]*compileCall),
+	}
 }
 
 // compileCached returns the compiled plan for a SELECT query text,
-// parsing and compiling only on a cache miss.
+// parsing and compiling only on a cache miss. Concurrent misses for
+// the same text share a single compilation.
 func (e *Engine) compileCached(query string) (*compiled, error) {
 	e.planMu.RLock()
 	cp, ok := e.planCache[query]
 	e.planMu.RUnlock()
 	if ok {
+		e.planHits.Add(1)
 		return cp, nil
 	}
+
+	e.planMu.Lock()
+	if cp, ok = e.planCache[query]; ok {
+		e.planMu.Unlock()
+		e.planHits.Add(1)
+		return cp, nil
+	}
+	if call, inflight := e.planInflight[query]; inflight {
+		e.planMu.Unlock()
+		<-call.done
+		// Joining an in-flight compile is a hit on its (about-to-be)
+		// cached entry, keeping Misses = number of compilations.
+		if call.err == nil {
+			e.planHits.Add(1)
+		}
+		return call.cp, call.err
+	}
+	call := &compileCall{done: make(chan struct{})}
+	e.planInflight[query] = call
+	e.planMu.Unlock()
+
+	e.planMisses.Add(1)
+	call.cp, call.err = e.compileSelectText(query)
+
+	e.planMu.Lock()
+	delete(e.planInflight, query)
+	if call.err == nil {
+		if len(e.planCache) >= planCacheLimit {
+			for k := range e.planCache {
+				delete(e.planCache, k)
+				e.planEvictions.Add(1)
+				break
+			}
+		}
+		e.planCache[query] = call.cp
+	}
+	e.planMu.Unlock()
+	close(call.done)
+	return call.cp, call.err
+}
+
+// compileSelectText parses and compiles a SELECT query text and
+// numbers its stages for profiling.
+func (e *Engine) compileSelectText(query string) (*compiled, error) {
 	q, err := Parse(query)
 	if err != nil {
 		return nil, err
@@ -79,17 +165,25 @@ func (e *Engine) compileCached(query string) (*compiled, error) {
 	if q.Form != FormSelect {
 		return nil, fmt.Errorf("sparql: Query expects a SELECT query; use Ask, Construct or Describe")
 	}
-	cp, err = compileSelect(q.Select, freshCounter())
+	cp, err := compileSelect(q.Select, freshCounter())
 	if err != nil {
 		return nil, err
 	}
-	e.planMu.Lock()
-	if len(e.planCache) >= planCacheLimit {
-		e.planCache = make(map[string]*compiled)
-	}
-	e.planCache[query] = cp
-	e.planMu.Unlock()
+	numberStages(cp)
 	return cp, nil
+}
+
+// PlanCacheStats returns the compiled-plan cache counters.
+func (e *Engine) PlanCacheStats() PlanCacheStats {
+	e.planMu.RLock()
+	entries := len(e.planCache)
+	e.planMu.RUnlock()
+	return PlanCacheStats{
+		Entries:   entries,
+		Hits:      e.planHits.Load(),
+		Misses:    e.planMisses.Load(),
+		Evictions: e.planEvictions.Load(),
+	}
 }
 
 // Store returns the underlying store.
@@ -193,27 +287,79 @@ func (e *Engine) Query(model, query string) (*Results, error) {
 // with kind ErrTimeout, ErrCanceled or ErrBudgetExceeded — when ctx
 // fires or Limits are exhausted. Internal panics are recovered into a
 // *QueryError with kind ErrInternal.
-func (e *Engine) QueryContext(ctx context.Context, model, query string) (res *Results, err error) {
+func (e *Engine) QueryContext(ctx context.Context, model, query string) (*Results, error) {
+	res, _, err := e.queryInternal(ctx, model, query, false)
+	return res, err
+}
+
+// QueryProfiled executes a SELECT query with per-operator profiling
+// and returns the results together with the executed-plan profile
+// (EXPLAIN ANALYZE's data; see Profile).
+func (e *Engine) QueryProfiled(model, query string) (*Results, *Profile, error) {
+	return e.QueryProfiledContext(context.Background(), model, query)
+}
+
+// QueryProfiledContext is QueryProfiled with cooperative cancellation
+// and the engine's resource budget (see QueryContext).
+func (e *Engine) QueryProfiledContext(ctx context.Context, model, query string) (*Results, *Profile, error) {
+	return e.queryInternal(ctx, model, query, true)
+}
+
+// queryInternal backs QueryContext and QueryProfiledContext. Profiling
+// is enabled when the caller wants a profile or a slow-query log is
+// installed (so over-threshold queries log with actuals attached).
+func (e *Engine) queryInternal(ctx context.Context, model, query string, wantProfile bool) (res *Results, prof *Profile, err error) {
+	start := time.Now()
+	rows := 0
+	var logProf *Profile // also attached to the slow-query log line
+	defer e.recordQuery(int(FormSelect), model, query, start, &err, &rows, &logProf)
 	defer recoverQueryPanic(&err)
 	ctx, cancel := e.budgetCtx(ctx)
 	defer cancel()
 	cp, err := e.compileCached(query)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	ec, err := e.execCtxIn(ctx, model, cp.vt)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	rows, err := evalSelect(ec, cp)
+	if wantProfile || e.slowLogWantsProfile() {
+		ec.prof = newQueryProfile(cp.nstages)
+	}
+	out, err := evalSelect(ec, cp)
+	if ec.prof != nil {
+		logProf = buildProfile(ec, cp, model, time.Since(start), len(out))
+		if wantProfile {
+			prof = logProf
+		}
+	}
 	if err != nil {
-		return nil, err
+		return nil, prof, err
 	}
-	res = &Results{Rows: rows}
+	rows = len(out)
+	res = &Results{Rows: out}
 	for _, pr := range cp.projection {
 		res.Vars = append(res.Vars, pr.name)
 	}
-	return res, nil
+	return res, prof, nil
+}
+
+// ExplainAnalyze executes the query and renders the plan annotated
+// with per-operator actuals: rows in/out, guard ticks, index and
+// access method, NLJ→hash switches, morsel counts and wall time.
+func (e *Engine) ExplainAnalyze(model, query string) (string, error) {
+	return e.ExplainAnalyzeContext(context.Background(), model, query)
+}
+
+// ExplainAnalyzeContext is ExplainAnalyze with cooperative
+// cancellation and the engine's resource budget.
+func (e *Engine) ExplainAnalyzeContext(ctx context.Context, model, query string) (string, error) {
+	_, prof, err := e.queryInternal(ctx, model, query, true)
+	if err != nil {
+		return "", err
+	}
+	return prof.Render(), nil
 }
 
 // Ask parses and executes an ASK query: does the pattern have at least
@@ -225,6 +371,7 @@ func (e *Engine) Ask(model, query string) (bool, error) {
 // AskContext is Ask with cooperative cancellation and the engine's
 // resource budget (see QueryContext).
 func (e *Engine) AskContext(ctx context.Context, model, query string) (found bool, err error) {
+	defer e.recordQuery(int(FormAsk), model, query, time.Now(), &err, nil, nil)
 	defer recoverQueryPanic(&err)
 	ctx, cancel := e.budgetCtx(ctx)
 	defer cancel()
@@ -269,6 +416,9 @@ func (e *Engine) Construct(model, query string) ([]rdf.Quad, error) {
 // engine's resource budget (see QueryContext). MaxRows caps the number
 // of constructed quads.
 func (e *Engine) ConstructContext(ctx context.Context, model, query string) (out []rdf.Quad, err error) {
+	rows := 0
+	defer e.recordQuery(int(FormConstruct), model, query, time.Now(), &err, &rows, nil)
+	defer func() { rows = len(out) }()
 	defer recoverQueryPanic(&err)
 	ctx, cancel := e.budgetCtx(ctx)
 	defer cancel()
@@ -380,6 +530,9 @@ func (e *Engine) Describe(model, query string) ([]rdf.Quad, error) {
 // engine's resource budget (see QueryContext). MaxRows caps the number
 // of description quads.
 func (e *Engine) DescribeContext(ctx context.Context, model, query string) (out []rdf.Quad, err error) {
+	rows := 0
+	defer e.recordQuery(int(FormDescribe), model, query, time.Now(), &err, &rows, nil)
+	defer func() { rows = len(out) }()
 	defer recoverQueryPanic(&err)
 	ctx, cancel := e.budgetCtx(ctx)
 	defer cancel()
@@ -547,6 +700,11 @@ func (e *Engine) execCtx(model string, vt *varTable) (*execCtx, error) {
 		hashMin:         e.hashJoinMin(),
 		pstats:          &e.pstats,
 		parallelFlagged: new(atomic.Bool),
+		// Computed terms (BIND, VALUES, extended projection, aggregate
+		// results) intern into a per-query overlay so read paths never
+		// grow the shared dictionary; updates resolve overlay IDs back
+		// to terms before touching the store, so they share it safely.
+		scratch: store.NewTermOverlay(e.st.Dict()),
 	}
 	if ec.parallelism > 1 {
 		ec.slots = make(chan struct{}, ec.parallelism)
@@ -584,6 +742,9 @@ func (e *Engine) Update(model, request string) (UpdateResult, error) {
 // the already-applied operations in place (no rollback), mirroring the
 // per-operation semantics of SPARQL Update.
 func (e *Engine) UpdateContext(ctx context.Context, model, request string) (res UpdateResult, err error) {
+	rows := 0
+	defer e.recordQuery(formUpdate, model, request, time.Now(), &err, &rows, nil)
+	defer func() { rows = res.Inserted + res.Deleted }()
 	defer recoverQueryPanic(&err)
 	ctx, cancel := e.budgetCtx(ctx)
 	defer cancel()

@@ -32,6 +32,17 @@ type execCtx struct {
 	slots           chan struct{}
 	pstats          *parallelStats
 	parallelFlagged *atomic.Bool // set once when the query goes parallel
+
+	// scratch holds terms computed while answering this query (BIND,
+	// VALUES, extended projection, aggregate results) so evaluation
+	// never grows the store's shared dictionary. Updates resolve any
+	// scratch ID back to its term before inserting into the store.
+	scratch *store.TermOverlay
+
+	// prof, when non-nil, collects per-stage actuals (DESIGN.md §11).
+	// All execution hooks are nil-checked so unprofiled queries pay a
+	// predictable branch and zero allocations.
+	prof *queryProfile
 }
 
 // child derives an execCtx for a nested scope (sub-select), sharing the
@@ -43,7 +54,23 @@ func (ec *execCtx) child(vt *varTable) *execCtx {
 	return &c
 }
 
-func (ec *execCtx) term(id store.ID) rdf.Term { return ec.st.Dict().Term(id) }
+// term resolves an ID from the shared dictionary or, when the query
+// carries a scratch overlay, from either range.
+func (ec *execCtx) term(id store.ID) rdf.Term {
+	if ec.scratch != nil {
+		return ec.scratch.Term(id)
+	}
+	return ec.st.Dict().Term(id)
+}
+
+// intern maps a computed term to an ID without growing the shared
+// dictionary when a scratch overlay is present (read-only queries).
+func (ec *execCtx) intern(t rdf.Term) store.ID {
+	if ec.scratch != nil {
+		return ec.scratch.Intern(t)
+	}
+	return ec.st.Dict().Intern(t)
+}
 
 // scan runs a store scan restricted to the dataset's models. Every row
 // produced ticks the query guard, making scans the chokepoint where a
@@ -90,11 +117,17 @@ func unitSource(width int) source {
 	}
 }
 
-// runPipeline folds a pipeline over an input source.
+// runPipeline folds a pipeline over an input source. When the context
+// carries a profile, each operator's stream is wrapped with row and
+// wall-time accounting (the BGP additionally keeps its own per-step
+// counters inside apply).
 func runPipeline(ec *execCtx, ops []op, in source) source {
 	src := in
 	for _, o := range ops {
 		src = o.apply(ec, src)
+		if ec.prof != nil {
+			src = ec.prof.instrument(o.stageID(), src)
+		}
 	}
 	return src
 }
@@ -118,6 +151,7 @@ func (e *explainer) printf(format string, args ...any) {
 // ---------------------------------------------------------------------
 
 type bgpOp struct {
+	opStage
 	patterns []quadPattern
 	filters  []*filterOp
 }
@@ -371,6 +405,21 @@ type bgpShared struct {
 	finalFilters []*filterOp
 	hashes       []hashState
 	inputSeen    []atomic.Int64
+
+	// Profiling slots, resolved once per apply invocation: bgpStage is
+	// the operator's own slot, stepStats[depth] the slot of the join
+	// step executed at that depth (stage ids follow execution order).
+	// Both are nil when profiling is off.
+	bgpStage  *profStage
+	stepStats []*profStage
+}
+
+// stepStat returns the profiling slot for a join step, nil-safe.
+func (sh *bgpShared) stepStat(depth int) *profStage {
+	if sh.stepStats == nil {
+		return nil
+	}
+	return sh.stepStats[depth]
 }
 
 // bgpWalker is the per-goroutine execution state walking the join tree:
@@ -414,6 +463,7 @@ func (w *bgpWalker) step(depth int, b binding) bool {
 	}
 	rp := &sh.rps[sh.order[depth]]
 	hs := &sh.hashes[depth]
+	pst := sh.stepStat(depth)
 	seen := sh.inputSeen[depth].Add(1)
 
 	// Decide whether to (lazily) switch this step to a hash join.
@@ -433,14 +483,17 @@ func (w *bgpWalker) step(depth int, b binding) bool {
 			key[i] = b[slot]
 		}
 		if usable {
+			var probes int64 // flushed in one atomic per probe loop
 			for _, q := range hs.table[key] {
 				if !rp.bindQuad(b, q, &w.undos[depth]) {
 					continue
 				}
+				probes++
 				// Probed rows bypass ec.scan, so they tick the guard
 				// here to stay inside the bindings budget.
 				if !ec.guard.tick() {
 					w.undos[depth].revert(b)
+					pst.addProbes(probes)
 					return false
 				}
 				// Re-check non-key bound positions (vars bound after
@@ -448,22 +501,28 @@ func (w *bgpWalker) step(depth int, b binding) bool {
 				cont := w.step(depth+1, b)
 				w.undos[depth].revert(b)
 				if !cont {
+					pst.addProbes(probes)
 					return false
 				}
 			}
+			pst.addProbes(probes)
 			return true
 		}
 	}
 
-	// Index nested-loop join.
+	// Index nested-loop join. Profiling counts into locals and flushes
+	// once after the scan: one guard tick was charged per scanned row.
 	stopped := false
+	var scanned, emitted int64
 	ec.scan(rp.boundPattern(b), func(q store.IDQuad) bool {
+		scanned++
 		if !rp.matchesGraphCtx(q) {
 			return true
 		}
 		if !rp.bindQuad(b, q, &w.undos[depth]) {
 			return true
 		}
+		emitted++
 		cont := w.step(depth+1, b)
 		w.undos[depth].revert(b)
 		if !cont {
@@ -472,6 +531,8 @@ func (w *bgpWalker) step(depth int, b binding) bool {
 		}
 		return true
 	})
+	pst.addTicks(scanned)
+	pst.addRows(emitted)
 	return !stopped
 }
 
@@ -502,11 +563,14 @@ func (sh *bgpShared) buildHash(depth int, rp *resolvedPattern, b binding) {
 		addKey(3, posRef{isVar: true, slot: rp.qp.g.slot})
 	}
 	hs.table = make(map[[4]store.ID][]store.IDQuad)
-	if ec.parallelism > 1 && ec.parallelHashBuild(rp, hs) {
+	pst := sh.stepStat(depth)
+	if ec.parallelism > 1 && ec.parallelHashBuild(rp, hs, pst) {
 		hs.built.Store(true)
 		return
 	}
+	var scanned int64 // build-side scan rows are guard-charged too
 	ec.scan(rp.constPattern(), func(q store.IDQuad) bool {
+		scanned++
 		if !rp.matchesGraphCtx(q) {
 			return true
 		}
@@ -514,6 +578,7 @@ func (sh *bgpShared) buildHash(depth int, rp *resolvedPattern, b binding) {
 		hs.table[key] = append(hs.table[key], q)
 		return true
 	})
+	pst.addTicks(scanned)
 	hs.built.Store(true)
 }
 
@@ -557,8 +622,20 @@ func (o *bgpOp) apply(ec *execCtx, in source) source {
 			hashes:       make([]hashState, len(order)),
 			inputSeen:    make([]atomic.Int64, len(order)),
 		}
+		if ec.prof != nil && o.sid > 0 {
+			// Join step i runs under stage id sid+1+i (execution order,
+			// matching explain and the profile tree).
+			sh.bgpStage = ec.prof.stage(o.sid)
+			sh.stepStats = make([]*profStage, len(order))
+			for i := range order {
+				sh.stepStats[i] = ec.prof.stage(o.sid + 1 + i)
+			}
+		}
 		w := &bgpWalker{sh: sh, undos: make([]undoList, len(order)), emit: yield}
 		err := in(func(b binding) bool {
+			if sh.bgpStage != nil {
+				sh.bgpStage.rowsIn.Add(1)
+			}
 			if ec.parallelism > 1 {
 				if handled, cont := sh.tryParallel(b, yield); handled {
 					return cont
@@ -566,6 +643,18 @@ func (o *bgpOp) apply(ec *execCtx, in source) source {
 			}
 			return w.step(0, b)
 		})
+		if sh.stepStats != nil {
+			// Fold the per-step input counters and the NLJ→hash switch
+			// flags into the profile once per evaluation.
+			for i := range order {
+				if st := sh.stepStats[i]; st != nil {
+					st.rowsIn.Add(sh.inputSeen[i].Load())
+					if sh.hashes[i].built.Load() {
+						st.hashJoin.Store(true)
+					}
+				}
+			}
+		}
 		if err == nil && ec.guard != nil {
 			err = ec.guard.Err()
 		}
@@ -622,6 +711,7 @@ func (o *bgpOp) explain(e *explainer) {
 // ---------------------------------------------------------------------
 
 type filterOp struct {
+	opStage
 	cond compiledExpr
 	need varset
 	text string
@@ -644,6 +734,7 @@ func (o *filterOp) apply(ec *execCtx, in source) source {
 func (o *filterOp) explain(e *explainer) { e.printf("Filter") }
 
 type bindOp struct {
+	opStage
 	expr compiledExpr
 	slot int
 }
@@ -659,7 +750,7 @@ func (o *bindOp) apply(ec *execCtx, in source) source {
 				return yield(b)
 			}
 			old := b[o.slot]
-			b[o.slot] = ec.st.Dict().Intern(t)
+			b[o.slot] = ec.intern(t)
 			cont := yield(b)
 			b[o.slot] = old
 			return cont
@@ -670,6 +761,7 @@ func (o *bindOp) apply(ec *execCtx, in source) source {
 func (o *bindOp) explain(e *explainer) { e.printf("Bind ?%s", e.ec.vt.names[o.slot]) }
 
 type valuesOp struct {
+	opStage
 	slots []int
 	rows  [][]rdf.Term
 }
@@ -692,7 +784,7 @@ func (o *valuesOp) apply(ec *execCtx, in source) source {
 				if t.IsZero() {
 					ids[i][j] = store.NoID // UNDEF
 				} else {
-					ids[i][j] = ec.st.Dict().Intern(t)
+					ids[i][j] = ec.intern(t)
 				}
 			}
 		}
@@ -736,6 +828,7 @@ func (o *valuesOp) explain(e *explainer) { e.printf("Values (%d rows)", len(o.ro
 // ---------------------------------------------------------------------
 
 type unionOp struct {
+	opStage
 	branches [][]op
 }
 
@@ -802,6 +895,7 @@ func singleton(b binding) source {
 }
 
 type optionalOp struct {
+	opStage
 	inner     []op
 	innerVars varset
 }
@@ -850,6 +944,7 @@ func (o *optionalOp) explain(e *explainer) {
 }
 
 type minusOp struct {
+	opStage
 	inner     []op
 	innerVars varset
 }
@@ -905,6 +1000,7 @@ func (o *minusOp) explain(e *explainer) {
 // ---------------------------------------------------------------------
 
 type subselectOp struct {
+	opStage
 	plan  *compiled
 	outer []int // outer slots for the projected vars
 	inner []int // inner projection slots
@@ -935,7 +1031,7 @@ func (o *subselectOp) apply(ec *execCtx, in source) source {
 				if r[j].IsZero() {
 					ids[j] = store.NoID
 				} else {
-					ids[j] = ec.st.Dict().Intern(r[j])
+					ids[j] = ec.intern(r[j])
 				}
 			}
 			mat[i] = ids
@@ -996,16 +1092,24 @@ func (o *subselectOp) explain(e *explainer) {
 // what makes the paper's EQ11d/e path-counting queries (hundreds of
 // millions of solution rows at full scale) feasible.
 func evalSelect(ec *execCtx, cp *compiled) ([][]rdf.Term, error) {
+	// LIMIT 0 can never produce a row: short-circuit before touching
+	// the pipeline so no scan, guard tick or clone happens at all.
+	if cp.limit == 0 {
+		return nil, nil
+	}
 	width := len(cp.vt.names)
 	src := runPipeline(ec, cp.pipeline, unitSource(width))
 
 	var solutions []binding
 	if cp.grouping {
+		gst := ec.profStage(cp.groupSid)
+		start := profNow(gst)
 		var err error
 		solutions, err = groupSolutions(ec, cp, src)
 		if err != nil {
 			return nil, err
 		}
+		profDone(gst, start, len(solutions))
 	} else {
 		// Plain SELECT with LIMIT and no ORDER BY / DISTINCT /
 		// projection expressions can stop as soon as enough rows exist.
@@ -1041,12 +1145,14 @@ func evalSelect(ec *execCtx, cp *compiled) ([][]rdf.Term, error) {
 				b[pr.slot] = store.NoID
 				continue
 			}
-			b[pr.slot] = ec.st.Dict().Intern(t)
+			b[pr.slot] = ec.intern(t)
 		}
 	}
 
 	// ORDER BY.
 	if len(cp.orderBy) > 0 {
+		sst := ec.profStage(cp.sortSid)
+		sortStart := profNow(sst)
 		keys := make([][]rdf.Term, len(solutions))
 		for i, b := range solutions {
 			row := make([]rdf.Term, len(cp.orderBy))
@@ -1080,9 +1186,12 @@ func evalSelect(ec *execCtx, cp *compiled) ([][]rdf.Term, error) {
 			sorted[i] = solutions[ix]
 		}
 		solutions = sorted
+		profDone(sst, sortStart, len(solutions))
 	}
 
 	// Project.
+	pst := ec.profStage(cp.projSid)
+	projStart := profNow(pst)
 	rows := make([][]rdf.Term, 0, len(solutions))
 	var seen map[string]struct{}
 	if cp.distinct {
@@ -1116,6 +1225,7 @@ func evalSelect(ec *execCtx, cp *compiled) ([][]rdf.Term, error) {
 	if cp.limit >= 0 && cp.limit < len(rows) {
 		rows = rows[:cp.limit]
 	}
+	profDone(pst, projStart, len(rows))
 	return rows, nil
 }
 
@@ -1266,7 +1376,7 @@ func groupSolutions(ec *execCtx, cp *compiled, src source) ([]binding, error) {
 		for i, agg := range cp.aggregates {
 			t, ok := finishAgg(gd.states[i], agg)
 			if ok {
-				gd.rep[agg.slot] = ec.st.Dict().Intern(t)
+				gd.rep[agg.slot] = ec.intern(t)
 			}
 		}
 		keep := true

@@ -179,6 +179,9 @@ func (sh *bgpShared) runParallel(b binding, rp *resolvedPattern, pat store.Patte
 	}
 	morsels := cur.Partitions(workers * morselsPerWorker)
 	ec.markParallel(workers, len(morsels))
+	if sh.bgpStage != nil {
+		sh.bgpStage.morsels.Add(int64(len(morsels)))
+	}
 
 	outs := make([]chan []binding, len(morsels))
 	for i := range outs {
@@ -253,6 +256,7 @@ func (sh *bgpShared) processMorsel(wk *bgpWalker, base binding, rp *resolvedPatt
 	defer close(out)
 	defer cur.Close()
 	ec := sh.ec
+	pst := sh.stepStat(0)
 	chunk := make([]binding, 0, emitChunkRows)
 	flush := func() bool {
 		if len(chunk) == 0 {
@@ -274,6 +278,12 @@ func (sh *bgpShared) processMorsel(wk *bgpWalker, base binding, rp *resolvedPatt
 		return flush()
 	}
 	var undo undoList
+	// Profiling counts into locals, flushed in one atomic per morsel.
+	var scanned, emitted int64
+	defer func() {
+		pst.addTicks(scanned)
+		pst.addRows(emitted)
+	}()
 	for {
 		if stop.Load() {
 			return
@@ -289,12 +299,14 @@ func (sh *bgpShared) processMorsel(wk *bgpWalker, base binding, rp *resolvedPatt
 		if !ec.guard.tick() {
 			return
 		}
+		scanned++
 		if !rp.matchesGraphCtx(q) {
 			continue
 		}
 		if !rp.bindQuad(base, q, &undo) {
 			continue
 		}
+		emitted++
 		cont := wk.step(1, base)
 		undo.revert(base)
 		if !cont {
@@ -310,7 +322,7 @@ func (sh *bgpShared) processMorsel(wk *bgpWalker, base binding, rp *resolvedPatt
 // bucket's row order equals the serially built bucket's. Budget ticks
 // are batched through guard.tickN. Reports false when no worker slots
 // were free (the caller then builds serially). Called with hs.mu held.
-func (ec *execCtx) parallelHashBuild(rp *resolvedPattern, hs *hashState) bool {
+func (ec *execCtx) parallelHashBuild(rp *resolvedPattern, hs *hashState, pst *profStage) bool {
 	workers := ec.acquireWorkers(ec.parallelism)
 	if workers < 2 {
 		ec.releaseWorkers(workers)
@@ -325,6 +337,9 @@ func (ec *execCtx) parallelHashBuild(rp *resolvedPattern, hs *hashState) bool {
 	ec.markParallel(workers, len(parts))
 	if ec.pstats != nil {
 		ec.pstats.hashBuilds.Add(1)
+	}
+	if pst != nil {
+		pst.morsels.Add(int64(len(parts)))
 	}
 	partials := make([]map[[4]store.ID][]store.IDQuad, len(parts))
 	var wg sync.WaitGroup
@@ -350,6 +365,9 @@ func (ec *execCtx) parallelHashBuild(rp *resolvedPattern, hs *hashState) bool {
 					if !ec.guard.tickN(pending) {
 						return
 					}
+					if pst != nil {
+						pst.ticks.Add(int64(pending))
+					}
 					pending = 0
 				}
 				if !rp.matchesGraphCtx(q) {
@@ -360,6 +378,9 @@ func (ec *execCtx) parallelHashBuild(rp *resolvedPattern, hs *hashState) bool {
 			}
 			if !ec.guard.tickN(pending) {
 				return
+			}
+			if pst != nil {
+				pst.ticks.Add(int64(pending))
 			}
 			partials[i] = m
 		}(i, pc)

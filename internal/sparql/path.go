@@ -15,6 +15,7 @@ import (
 // observation (§5.1) that SPARQL property paths cannot enumerate
 // unanchored paths.
 type pathOp struct {
+	opStage
 	s, o  posRef
 	g     graphRef
 	inner Path
@@ -36,8 +37,12 @@ func (o *pathOp) bound(before varset) varset {
 
 func (o *pathOp) apply(ec *execCtx, in source) source {
 	return func(yield func(binding) bool) error {
+		pst := ec.profStage(o.sid)
 		var evalErr error
 		err := in(func(b binding) bool {
+			if pst != nil {
+				pst.rowsIn.Add(1)
+			}
 			startID, startBound := o.endpoint(ec, o.s, b)
 			endID, endBound := o.endpoint(ec, o.o, b)
 			switch {
@@ -102,7 +107,7 @@ func (o *pathOp) apply(ec *execCtx, in source) source {
 // endpoint resolves an endpoint to an ID if bound.
 func (o *pathOp) endpoint(ec *execCtx, r posRef, b binding) (store.ID, bool) {
 	if !r.isVar {
-		return ec.st.Dict().Intern(r.term), true
+		return ec.intern(r.term), true
 	}
 	if b[r.slot] != store.NoID {
 		return b[r.slot], true
@@ -193,6 +198,9 @@ func (o *pathOp) expandFrontier(ec *execCtx, b binding, frontier []store.ID, rev
 	}
 	defer ec.releaseWorkers(workers)
 	ec.markParallel(workers, len(frontier))
+	if pst := ec.profStage(o.sid); pst != nil {
+		pst.morsels.Add(int64(len(frontier)))
+	}
 	errs := make([]error, len(frontier))
 	var (
 		next atomic.Int64
@@ -249,8 +257,10 @@ func (o *pathOp) step(ec *execCtx, b binding, p Path, node store.ID, reverse boo
 			pat.S = node
 		}
 		o.applyGraph(ec, b, &pat)
+		var scanned int64 // step scans are guard-charged per row
 		var out []store.ID
 		ec.scan(pat, func(q store.IDQuad) bool {
+			scanned++
 			if o.g.kind == GraphVar && q.G == store.NoID {
 				return true
 			}
@@ -261,6 +271,7 @@ func (o *pathOp) step(ec *execCtx, b binding, p Path, node store.ID, reverse boo
 			}
 			return true
 		})
+		ec.profStage(o.sid).addTicks(scanned)
 		return out, nil
 	case PathInverse:
 		return o.step(ec, b, x.Inner, node, !reverse)
@@ -294,7 +305,9 @@ func (o *pathOp) step(ec *execCtx, b binding, p Path, node store.ID, reverse boo
 		return out, nil
 	case PathStar, PathPlus, PathOpt:
 		inner, min, max := innerOf(x)
-		sub := &pathOp{s: o.s, o: o.o, g: o.g, inner: inner, min: min, max: max, c: o.c}
+		// The nested closure inherits this operator's stage id so its
+		// scan ticks are attributed to the same profile slot.
+		sub := &pathOp{opStage: o.opStage, s: o.s, o: o.o, g: o.g, inner: inner, min: min, max: max, c: o.c}
 		return sub.closure(ec, b, node, reverse)
 	case PathVar:
 		return nil, fmt.Errorf("sparql: variable predicates are not supported inside path closures")

@@ -1,0 +1,100 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func TestOverlayInternReadsThrough(t *testing.T) {
+	d := NewDict()
+	known := rdf.NewLiteral("known")
+	kid := d.Intern(known)
+	before := d.Len()
+
+	o := NewTermOverlay(d)
+	if got := o.Intern(known); got != kid {
+		t.Errorf("known term got scratch ID %d, want dictionary ID %d", got, kid)
+	}
+	novel := rdf.NewLiteral("novel")
+	sid := o.Intern(novel)
+	if sid < scratchBase {
+		t.Errorf("novel term got dictionary-range ID %d", sid)
+	}
+	if d.Len() != before {
+		t.Errorf("overlay grew the dictionary: %d -> %d", before, d.Len())
+	}
+	if o.Len() != 1 {
+		t.Errorf("overlay len = %d, want 1", o.Len())
+	}
+	// Interning the same novel term again is stable.
+	if again := o.Intern(novel); again != sid {
+		t.Errorf("re-intern gave %d, want %d", again, sid)
+	}
+}
+
+func TestOverlayTermRoutesByRange(t *testing.T) {
+	d := NewDict()
+	known := rdf.NewIRI("http://x/known")
+	kid := d.Intern(known)
+	o := NewTermOverlay(d)
+	novel := rdf.NewInt(12345)
+	sid := o.Intern(novel)
+
+	if got := o.Term(kid); got.String() != known.String() {
+		t.Errorf("Term(%d) = %v, want %v", kid, got, known)
+	}
+	if got := o.Term(sid); got.String() != novel.String() {
+		t.Errorf("Term(%d) = %v, want %v", sid, got, novel)
+	}
+}
+
+func TestOverlayTermPanicsOnBogusScratchID(t *testing.T) {
+	o := NewTermOverlay(NewDict())
+	defer func() {
+		if recover() == nil {
+			t.Error("Term on never-issued scratch ID did not panic")
+		}
+	}()
+	o.Term(scratchBase + 99)
+}
+
+func TestOverlayConcurrent(t *testing.T) {
+	d := NewDict()
+	o := NewTermOverlay(d)
+	const workers = 8
+	var wg sync.WaitGroup
+	ids := make([][]ID, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				term := rdf.NewLiteral(fmt.Sprintf("scratch-%d", i))
+				id := o.Intern(term)
+				ids[w] = append(ids[w], id)
+				if got := o.Term(id); got.Value != term.Value {
+					t.Errorf("Term(%d) = %v, want %v", id, got, term)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Every worker interned the same 100 terms; IDs must agree.
+	for w := 1; w < workers; w++ {
+		for i := range ids[0] {
+			if ids[w][i] != ids[0][i] {
+				t.Fatalf("worker %d got ID %d for term %d, worker 0 got %d", w, ids[w][i], i, ids[0][i])
+			}
+		}
+	}
+	if o.Len() != 100 {
+		t.Errorf("overlay len = %d, want 100", o.Len())
+	}
+	if d.Len() != 0 {
+		t.Errorf("dictionary grew to %d", d.Len())
+	}
+}
