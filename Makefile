@@ -10,11 +10,11 @@ BENCH_SCALE ?= 0.05
 BENCH_MAX_OVERHEAD ?= 5
 OVERHEAD_ITERS ?= 5
 
-.PHONY: check vet lint build test race bench bench-smoke fuzz-smoke
+.PHONY: check vet lint build test race crash-recovery bench bench-smoke fuzz-smoke
 
-## check: the full gate — vet, build, the pgrdfvet analyzers, and the
-## race-enabled test suite.
-check: vet build lint race
+## check: the full gate — vet, build, the pgrdfvet analyzers, the
+## race-enabled test suite, and the crash-recovery differential.
+check: vet build lint race crash-recovery
 
 vet:
 	$(GO) vet ./...
@@ -32,6 +32,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+## crash-recovery: the durability gate — the fault-injected WAL suite
+## (crash at every log byte, torn-write corpus, checkpoint races) under
+## the race detector. Part of `make check`; see DESIGN.md §12.
+crash-recovery:
+	$(GO) test -race -count=1 ./internal/wal
 
 ## bench: Go micro-benchmarks plus the serial-vs-parallel comparison of
 ## the paper's scan-heavy queries and bulk load, written to

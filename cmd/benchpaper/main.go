@@ -39,10 +39,40 @@ func main() {
 	profileOverhead := flag.Bool("profileoverhead", false, "measure EQ1-EQ12 with vs without per-operator profiling and report the aggregate overhead")
 	maxOverhead := flag.Float64("maxoverhead", 0, "fail when -profileoverhead exceeds this percentage (0 = report only)")
 	explainAnalyze := flag.Bool("explainanalyze", false, "print EXPLAIN ANALYZE for every paper query on both schemes")
+	recoveryBench := flag.Bool("recoverybench", false, "measure checkpoint write/restore and log-tail replay on a ~1M-quad durability directory (BENCH_recovery.json)")
+	recoveryQuads := flag.Int("recoveryquads", 1_000_000, "checkpoint size target in quads for -recoverybench")
+	recoveryTail := flag.Int("recoverytail", 10_000, "log-tail records to replay for -recoverybench")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	// The recovery bench builds its own durability directory; the
+	// NG + SP query stores below would be dead weight.
+	if *recoveryBench {
+		start := time.Now()
+		rep, err := bench.RecoveryBench(ctx, *recoveryQuads, *recoveryTail)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchpaper:", err)
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchpaper:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if *out == "" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchpaper:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "recovery bench done in %s: %d quads, checkpoint write %.0fms restore %.0fms, %d-record tail replay %.0fms\n",
+			time.Since(start).Round(time.Millisecond), rep.Quads,
+			rep.CheckpointWriteMS, rep.CheckpointRestoreMS, rep.TailRecords, rep.ReplayMS)
+		return
+	}
 
 	cfg := twitter.PaperConfig().Scale(*scale)
 	if *seed != 0 {

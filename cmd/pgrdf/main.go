@@ -6,6 +6,8 @@
 //	           query against it
 //	explain  — like query, but print the index access plan instead
 //	stats    — load data and print dataset + storage statistics
+//	snapshot — write a restorable store snapshot without a server
+//	checkpoint — ask a running server (serve -data-dir) to checkpoint
 //
 // Examples:
 //
@@ -19,6 +21,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -35,6 +38,7 @@ import (
 	"repro/internal/sparql"
 	"repro/internal/store"
 	"repro/internal/turtle"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -55,6 +59,10 @@ func main() {
 		err = runTraverse(os.Args[2:])
 	case "serve":
 		err = runServe(os.Args[2:])
+	case "snapshot":
+		err = runSnapshot(os.Args[2:])
+	case "checkpoint":
+		err = runCheckpoint(os.Args[2:])
 	default:
 		usage()
 	}
@@ -65,7 +73,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: pgrdf <convert|query|explain|stats|traverse|serve> [flags]
+	fmt.Fprintln(os.Stderr, `usage: pgrdf <convert|query|explain|stats|traverse|serve|snapshot|checkpoint> [flags]
 run "pgrdf <subcommand> -h" for flags`)
 	os.Exit(2)
 }
@@ -316,6 +324,96 @@ func runTraverse(args []string) error {
 	return nil
 }
 
+// openStore builds a store from -restore (a snapshot), -data (an RDF
+// file) or neither (empty with the given indexes), in that precedence —
+// the shared serve/snapshot start-up path.
+func openStore(data, restore, indexes string) (*store.Store, error) {
+	switch {
+	case restore != "":
+		f, err := os.Open(restore)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return store.Restore(f)
+	case data != "":
+		return loadStore(data, indexes)
+	default:
+		return store.NewWithIndexes(strings.Split(indexes, ","))
+	}
+}
+
+// runSnapshot writes a restorable store snapshot offline — the
+// operator's checkpoint path when no server is running. The input is
+// an RDF data file (-data), an existing snapshot (-restore), or a
+// durability directory (-data-dir, recovered checkpoint + WAL tail).
+func runSnapshot(args []string) error {
+	fs := flag.NewFlagSet("snapshot", flag.ExitOnError)
+	data := fs.String("data", "", "N-Quads data file to load")
+	restore := fs.String("restore", "", "existing snapshot to load")
+	dataDir := fs.String("data-dir", "", "durability directory to recover (checkpoint + WAL tail)")
+	indexes := fs.String("indexes", "PCSGM,PSCGM,SPCGM,GSPCM", "comma-separated semantic network indexes (ignored with -restore/-data-dir)")
+	out := fs.String("o", "-", "output snapshot file (- = stdout)")
+	fs.Parse(args)
+
+	var st *store.Store
+	var err error
+	if *dataDir != "" {
+		var l *wal.Log
+		st, l, err = wal.Open(*dataDir, wal.Options{Sync: wal.SyncOff})
+		if err != nil {
+			return err
+		}
+		defer l.Close()
+	} else {
+		if *data == "" && *restore == "" {
+			return fmt.Errorf("snapshot requires -data, -restore or -data-dir")
+		}
+		st, err = openStore(*data, *restore, *indexes)
+		if err != nil {
+			return err
+		}
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, ferr := os.Create(*out)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := st.Snapshot(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "snapshot of %d quads across %d model(s) written\n", st.Len(), len(st.Models()))
+	return nil
+}
+
+// runCheckpoint asks a running pgrdf serve -data-dir instance to
+// checkpoint now (POST /checkpoint): snapshot the store and truncate
+// the write-ahead log.
+func runCheckpoint(args []string) error {
+	fs := flag.NewFlagSet("checkpoint", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:3030", "address of the running pgrdf serve instance")
+	timeout := fs.Duration("timeout", 10*time.Minute, "how long to wait for the checkpoint to complete")
+	fs.Parse(args)
+
+	cl := &http.Client{Timeout: *timeout}
+	resp, err := cl.Post("http://"+*addr+"/checkpoint", "", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("checkpoint failed: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	fmt.Print(string(body))
+	return nil
+}
+
 // runServe starts a SPARQL 1.1 Protocol endpoint over a loaded dataset,
 // with query guardrails (deadline, budget, admission control) and a
 // graceful drain on SIGINT/SIGTERM: new requests are shed with 503
@@ -337,28 +435,46 @@ func runServe(args []string) error {
 	slowLog := fs.String("slowlog", "", "slow-query log file (\"-\" = stderr, empty = disabled)")
 	slowThreshold := fs.Duration("slow-threshold", time.Second, "wall time at or over which a query is slow-logged (0 = log every query)")
 	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	dataDir := fs.String("data-dir", "", "durability directory: recover on start, journal every update, checkpoint on demand (empty = in-memory only)")
+	fsync := fs.String("fsync", "always", "WAL fsync policy: always, interval or off")
+	fsyncInterval := fs.Duration("fsync-interval", 100*time.Millisecond, "fsync period under -fsync interval")
+	checkpointEvery := fs.Duration("checkpoint-every", 0, "background checkpoint period (0 = only POST /checkpoint)")
 	fs.Parse(args)
 
 	var st *store.Store
+	var l *wal.Log
 	var err error
-	switch {
-	case *restore != "":
-		f, ferr := os.Open(*restore)
-		if ferr != nil {
-			return ferr
+	if *dataDir != "" {
+		policy, perr := wal.ParseSyncPolicy(*fsync)
+		if perr != nil {
+			return perr
 		}
-		st, err = store.Restore(f)
-		f.Close()
+		st, l, err = wal.Open(*dataDir, wal.Options{
+			Sync:      policy,
+			SyncEvery: *fsyncInterval,
+			Indexes:   strings.Split(*indexes, ","),
+		})
 		if err != nil {
 			return err
 		}
-	case *data != "":
-		st, err = loadStore(*data, *indexes)
-		if err != nil {
-			return err
+		defer l.Close()
+		ws := l.Stats()
+		fmt.Fprintf(os.Stderr, "pgrdf: recovered %d quads from %s (replayed %d WAL records, dropped %d torn bytes)\n",
+			st.Len(), *dataDir, ws.ReplayedRecords, ws.TornBytesDropped)
+		// Seed an empty data dir from -data / -restore, then checkpoint
+		// immediately so the seed itself is durable.
+		if st.Len() == 0 && (*data != "" || *restore != "") {
+			st, err = openStore(*data, *restore, *indexes)
+			if err != nil {
+				return err
+			}
+			if err := l.Checkpoint(st); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "pgrdf: seeded %s with %d quads\n", *dataDir, st.Len())
 		}
-	default:
-		st, err = store.NewWithIndexes(strings.Split(*indexes, ","))
+	} else {
+		st, err = openStore(*data, *restore, *indexes)
 		if err != nil {
 			return err
 		}
@@ -396,6 +512,10 @@ func runServe(args []string) error {
 	}
 	h := httpapi.NewServerWithConfig(st, cfg)
 	h.ReadOnly = *readOnly
+	if l != nil {
+		h.AttachWAL(l)
+		l.StartCheckpointer(st, *checkpointEvery)
+	}
 	fmt.Fprintf(os.Stderr, "SPARQL endpoint on http://%s/sparql (updates: http://%s/update, stats: http://%s/stats, metrics: http://%s/metrics)\n",
 		*addr, *addr, *addr, *addr)
 
@@ -416,6 +536,14 @@ func runServe(args []string) error {
 	// wait for the in-flight ones.
 	if err := h.Drain(dctx); err != nil {
 		fmt.Fprintln(os.Stderr, "pgrdf: drain timed out; forcing shutdown")
+	}
+	if l != nil {
+		// All updates have drained; make their tail of the log durable
+		// before the process exits (the deferred Close re-syncs, but by
+		// then errors could only be logged, not returned).
+		if err := l.Sync(); err != nil {
+			fmt.Fprintln(os.Stderr, "pgrdf: final WAL sync failed:", err)
+		}
 	}
 	return srv.Shutdown(dctx)
 }

@@ -1,7 +1,7 @@
 // Command pgrdfvet is the repository's static-analysis gate: a
 // multichecker running the internal/analysis suite (ctxflow,
-// errsentinel, guardtick, idsafe, iterclose) over the packages named
-// on the command line.
+// errsentinel, guardtick, idsafe, iterclose, walerr) over the
+// packages named on the command line.
 //
 // Usage:
 //

@@ -60,7 +60,7 @@ func (f Finding) String() string {
 
 // All returns the pgrdfvet analyzer suite.
 func All() []*Analyzer {
-	return []*Analyzer{Ctxflow, Errsentinel, Guardtick, Idsafe, Iterclose}
+	return []*Analyzer{Ctxflow, Errsentinel, Guardtick, Idsafe, Iterclose, Walerr}
 }
 
 // ignoreRE matches suppression directives:

@@ -28,6 +28,10 @@ func TestIterclose(t *testing.T) {
 	RunTest(t, Iterclose, "testdata/src/iterclose", "repro/internal/iterclosetest")
 }
 
+func TestWalerr(t *testing.T) {
+	RunTest(t, Walerr, "testdata/src/walerr", "repro/internal/walerrtest")
+}
+
 // TestExamplesExemptFromCtxflow pins the scoping rule: the same code
 // that fails as library code passes when analyzed under examples/.
 func TestExamplesExemptFromCtxflow(t *testing.T) {

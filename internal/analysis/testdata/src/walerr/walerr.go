@@ -1,0 +1,36 @@
+// Package walerrtest exercises the walerr analyzer.
+package walerrtest
+
+import (
+	"fmt"
+
+	"repro/internal/wal"
+)
+
+func bad(l *wal.Log, b wal.Batch) {
+	l.Commit(b, nil)     // want "Log.Commit error discarded"
+	l.Checkpoint(nil)    // want "Log.Checkpoint error discarded"
+	l.Sync()             // want "Log.Sync error discarded"
+	_ = l.Sync()         // want "Log.Sync error assigned to _"
+	defer l.Sync()       // want "Log.Sync error discarded by defer"
+	go l.Checkpoint(nil) // want "Log.Checkpoint error discarded by go statement"
+}
+
+func good(l *wal.Log, b wal.Batch) error {
+	if err := l.Commit(b, nil); err != nil {
+		return fmt.Errorf("commit: %w", err)
+	}
+	if err := l.Checkpoint(nil); err != nil {
+		return err
+	}
+	err := l.Sync()
+	// Close is exempt: the flush already happened via Sync above, and
+	// teardown paths routinely defer it.
+	defer l.Close()
+	return err
+}
+
+func suppressed(l *wal.Log) {
+	//pgrdfvet:ignore walerr -- test harness tears down a log whose disk is already gone
+	l.Sync()
+}

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Walerr keeps the durability chain honest. The WAL's whole guarantee
+// — crash at any byte, recover to the last durable commit — rests on
+// the caller noticing when a journal write fails: an ignored
+// (*wal.Log).Commit or (*wal.Writer).Append error means a mutation is
+// applied (or reported as applied) without being on disk, which is a
+// silent durability hole no test will catch until a crash. The same
+// goes for Checkpoint (a failed snapshot must not be treated as a
+// truncation point) and Sync (the shutdown flush). Discarding these
+// errors — an expression statement, `_ =`, go, or defer — is reported.
+var Walerr = &Analyzer{
+	Name: "walerr",
+	Doc:  "errors from wal.Log/wal.Writer durability methods must not be discarded",
+	Run:  runWalerr,
+}
+
+// walerrMethods maps receiver type (in repro/internal/wal) to the
+// methods whose error return is durability-critical. Close is exempt:
+// it is routinely deferred on teardown paths where the flush already
+// happened via Sync.
+var walerrMethods = map[string]map[string]bool{
+	"Log":    {"Commit": true, "Checkpoint": true, "Sync": true},
+	"Writer": {"Append": true, "Sync": true},
+}
+
+const walPkg = "repro/internal/wal"
+
+// walerrCall reports whether call invokes one of the guarded methods.
+func walerrCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != walPkg {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	typeName := named.Obj().Name()
+	if walerrMethods[typeName][fn.Name()] {
+		return typeName + "." + fn.Name(), true
+	}
+	return "", false
+}
+
+func runWalerr(pass *Pass) error {
+	report := func(call *ast.CallExpr, how string) {
+		if name, ok := walerrCall(pass.Info, call); ok {
+			pass.Reportf(call.Pos(),
+				"%s error %s; a dropped journal error is a silent durability hole — handle it or fail the operation", name, how)
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					report(call, "discarded")
+				}
+			case *ast.GoStmt:
+				report(n.Call, "discarded by go statement")
+			case *ast.DeferStmt:
+				report(n.Call, "discarded by defer")
+			case *ast.AssignStmt:
+				// `_ = l.Sync()` and friends: every LHS is blank.
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				call, ok := n.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+						return true
+					}
+				}
+				report(call, "assigned to _")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -111,6 +111,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.gauge("pgrdf_dict_lexical_bytes", "Lexical bytes held by the dictionary.", st.Dict().LexicalBytes())
 	m.gauge("pgrdf_open_cursors", "Snapshot cursors not yet closed (leak gauge).", int64(st.OpenCursors()))
 
+	// Durability (present only when the server runs with a data dir).
+	if s.wal != nil {
+		ws := s.wal.Stats()
+		m.gauge("pgrdf_wal_bytes", "Write-ahead log size since the last checkpoint.", ws.WalBytes)
+		m.gauge("pgrdf_wal_records", "Write-ahead log records since the last checkpoint.", ws.WalRecords)
+		m.counter("pgrdf_checkpoint_total", "Checkpoints completed.", ws.Checkpoints)
+		m.counter("pgrdf_checkpoint_errors_total", "Checkpoint attempts that failed.", ws.CheckpointErrors)
+		m.gauge("pgrdf_checkpoint_last_bytes", "Size of the most recent checkpoint snapshot.", ws.LastCheckpointBytes)
+		m.family("pgrdf_checkpoint_last_duration_seconds", "Wall time of the most recent checkpoint.", "gauge")
+		m.sample("pgrdf_checkpoint_last_duration_seconds", fmt.Sprintf("%g", ws.LastCheckpointDuration.Seconds()))
+	}
+
 	// Per-index rows and scan counters.
 	idx := st.IndexStatsSnapshot()
 	sort.Slice(idx, func(i, j int) bool { return idx[i].Spec < idx[j].Spec })

@@ -17,6 +17,7 @@ import (
 	"repro/internal/rdf"
 	"repro/internal/sparql"
 	"repro/internal/store"
+	"repro/internal/wal"
 )
 
 // Config bounds what one request — and the endpoint as a whole — may
@@ -236,6 +237,8 @@ type Server struct {
 	draining atomic.Bool
 	// ReadOnly disables the /update endpoint.
 	ReadOnly bool
+	// wal, when attached, journals updates and serves POST /checkpoint.
+	wal *wal.Log
 }
 
 // NewServer builds a handler over the store with DefaultConfig.
@@ -277,6 +280,7 @@ func NewServerWithConfig(st *store.Store, cfg Config) *Server {
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/export", s.handleExport)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/checkpoint", s.handleCheckpoint)
 	if cfg.EnablePprof {
 		// Mounted per-handler (not via the net/http/pprof init side
 		// effect on DefaultServeMux) so the profiles exist only on this
@@ -584,9 +588,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w, `{"quads":%d,"subjects":%d,"predicates":%d,"objects":%d,"namedGraphs":%d,"storageBytes":%d,"openCursors":%d,`+
-		`"parallelism":%d,"parallelQueries":%d,"parallelWorkers":%d,"parallelMorsels":%d,"parallelHashBuilds":%d,"activeWorkers":%d}`+"\n",
+		`"parallelism":%d,"parallelQueries":%d,"parallelWorkers":%d,"parallelMorsels":%d,"parallelHashBuilds":%d,"activeWorkers":%d`,
 		st.Quads, st.Subjects, st.Predicates, st.Objects, st.NamedGraphs, rep.Total, s.eng.Store().OpenCursors(),
 		par, ps.Queries, ps.Workers, ps.Morsels, ps.HashBuilds, ps.ActiveWorkers)
+	if s.wal != nil {
+		ws := s.wal.Stats()
+		fmt.Fprintf(w, `,"walBytes":%d,"walRecords":%d,"walSeq":%d,"checkpoints":%d,"checkpointErrors":%d,`+
+			`"lastCheckpointBytes":%d,"lastCheckpointSeconds":%g,"replayedRecords":%d,"tornBytesDropped":%d`,
+			ws.WalBytes, ws.WalRecords, ws.Seq, ws.Checkpoints, ws.CheckpointErrors,
+			ws.LastCheckpointBytes, ws.LastCheckpointDuration.Seconds(), ws.ReplayedRecords, ws.TornBytesDropped)
+	}
+	fmt.Fprintln(w, "}")
 }
 
 // handleExport streams every quad of one model as N-Quads. It is the
@@ -597,6 +609,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeJSONError(w, http.StatusMethodNotAllowed, "method", "method not allowed")
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "nquads":
+	case "snapshot":
+		// The directive-carrying snapshot format (models, virtual models,
+		// index config): unlike a plain N-Quads export, this round-trips
+		// through store.Restore and pgrdf serve -restore.
+		w.Header().Set("Content-Type", "application/n-quads")
+		if err := s.eng.Store().Snapshot(w); err != nil {
+			return // headers already sent; the stream just ends short
+		}
+		return
+	default:
+		writeJSONError(w, http.StatusBadRequest, "request",
+			fmt.Sprintf("unknown export format %q (want nquads or snapshot)", format))
 		return
 	}
 	model := r.URL.Query().Get("model")

@@ -56,6 +56,16 @@ type Engine struct {
 	// with profiling on so the log can attach per-operator actuals.
 	SlowQueryLog io.Writer
 
+	// CommitHook, when set, intercepts every Update operation's quad
+	// delta before it is applied — the write-ahead log's entry point
+	// (DESIGN.md §12). Set it once before serving updates; it is read
+	// concurrently.
+	CommitHook CommitHook
+
+	// estc caches cardinality estimates for the greedy join-order
+	// optimizer, invalidated by the store's mutation version.
+	estc estCache
+
 	// slowMu serializes writes to SlowQueryLog.
 	slowMu sync.Mutex
 
@@ -694,6 +704,7 @@ func (e *Engine) execCtx(model string, vt *varTable) (*execCtx, error) {
 	}
 	ec := &execCtx{
 		st:              e.st,
+		estc:            &e.estc,
 		vt:              vt,
 		noHashJoin:      e.DisableHashJoin,
 		parallelism:     e.parallelism(),
@@ -767,30 +778,35 @@ func (e *Engine) UpdateContext(ctx context.Context, model, request string) (res 
 	for _, op := range u.Ops {
 		switch x := op.(type) {
 		case InsertData:
+			muts := make([]Mutation, 0, len(x.Quads))
 			for i, q := range x.Quads {
 				if err := checkCtx(i); err != nil {
 					return res, err
 				}
-				ok, err := e.st.Insert(model, q)
-				if err != nil {
+				if err := q.Validate(); err != nil {
 					return res, err
 				}
-				if ok {
-					res.Inserted++
-				}
+				muts = append(muts, Mutation{Insert: true, Model: model, Quad: q})
+			}
+			if err := e.applyMutations(muts, &res); err != nil {
+				return res, err
 			}
 		case DeleteData:
+			if e.st.LookupModel(model) == store.NoID {
+				return res, fmt.Errorf("store: unknown model %q", model)
+			}
+			muts := make([]Mutation, 0, len(x.Quads))
 			for i, q := range x.Quads {
 				if err := checkCtx(i); err != nil {
 					return res, err
 				}
-				ok, err := e.st.Delete(model, q)
-				if err != nil {
+				if err := q.Validate(); err != nil {
 					return res, err
 				}
-				if ok {
-					res.Deleted++
-				}
+				muts = append(muts, Mutation{Model: model, Quad: q})
+			}
+			if err := e.applyMutations(muts, &res); err != nil {
+				return res, err
 			}
 		case DeleteWhere:
 			n, err := e.deleteWhere(ctx, model, x.Where)
@@ -852,19 +868,22 @@ func (e *Engine) deleteWhere(ctx context.Context, model string, g *GroupGraphPat
 	if err != nil {
 		return 0, err
 	}
-	n := 0
+	// Expand the delta to concrete models and validate every quad before
+	// committing, so the hook never journals an op whose apply can fail.
+	muts := make([]Mutation, 0, len(toDelete)*len(models))
 	for _, q := range toDelete {
+		if err := q.Validate(); err != nil {
+			return 0, err
+		}
 		for _, m := range models {
-			ok, err := e.st.Delete(e.st.ModelName(m), q)
-			if err != nil {
-				return n, err
-			}
-			if ok {
-				n++
-			}
+			muts = append(muts, Mutation{Model: e.st.ModelName(m), Quad: q})
 		}
 	}
-	return n, nil
+	var res UpdateResult
+	if err := e.applyMutations(muts, &res); err != nil {
+		return res.Deleted, err
+	}
+	return res.Deleted, nil
 }
 
 // modify executes the DELETE/INSERT..WHERE template form: the WHERE
@@ -901,27 +920,23 @@ func (e *Engine) modify(ctx context.Context, model string, m Modify) (deleted, i
 	if err != nil {
 		return 0, 0, err
 	}
+	// One delta for the whole operation, deletes first then inserts —
+	// the order the loop below (and a replaying journal) applies them.
+	// instantiateTemplates already dropped invalid quads.
+	muts := make([]Mutation, 0, len(toDelete)*len(models)+len(toInsert))
 	for _, q := range toDelete {
 		for _, mid := range models {
-			ok, err := e.st.Delete(e.st.ModelName(mid), q)
-			if err != nil {
-				return deleted, inserted, err
-			}
-			if ok {
-				deleted++
-			}
+			muts = append(muts, Mutation{Model: e.st.ModelName(mid), Quad: q})
 		}
 	}
 	for _, q := range toInsert {
-		ok, err := e.st.Insert(model, q)
-		if err != nil {
-			return deleted, inserted, err
-		}
-		if ok {
-			inserted++
-		}
+		muts = append(muts, Mutation{Insert: true, Model: model, Quad: q})
 	}
-	return deleted, inserted, nil
+	var res UpdateResult
+	if err := e.applyMutations(muts, &res); err != nil {
+		return res.Deleted, res.Inserted, err
+	}
+	return res.Deleted, res.Inserted, nil
 }
 
 func instantiate(ec *execCtx, tp quadPattern, b binding) (rdf.Quad, bool) {

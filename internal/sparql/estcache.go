@@ -1,0 +1,54 @@
+package sparql
+
+import (
+	"sync"
+
+	"repro/internal/store"
+)
+
+// estCacheLimit bounds the estimate cache; past it the map is dropped
+// wholesale (estimates are cheap to recompute, the cache only shaves
+// repeated index probes off hot plan-ordering paths).
+const estCacheLimit = 4096
+
+// estCache memoizes the store's cardinality estimates for fully-bound
+// patterns, which the greedy join-order optimizer probes on every BGP
+// resolve. Entries are keyed to the store's mutation counter: any
+// successful Update bumps Store.Version, so the first estimate after
+// a write discards the stale generation and plans re-order to the new
+// selectivities (the bulk-insert regression in update_test.go).
+type estCache struct {
+	mu      sync.Mutex
+	version uint64
+	m       map[store.Pattern]int
+}
+
+// estimate returns st.EstimateCount(p), cached within one store
+// version.
+func (c *estCache) estimate(st *store.Store, p store.Pattern) int {
+	v := st.Version()
+	c.mu.Lock()
+	if c.m == nil || c.version != v {
+		c.m = make(map[store.Pattern]int)
+		c.version = v
+	}
+	if n, ok := c.m[p]; ok {
+		c.mu.Unlock()
+		return n
+	}
+	c.mu.Unlock()
+
+	n := st.EstimateCount(p)
+
+	c.mu.Lock()
+	// Recheck the generation: a concurrent Update may have advanced the
+	// store while we computed, making n stale for the current version.
+	if c.m != nil && c.version == v {
+		if len(c.m) >= estCacheLimit {
+			c.m = make(map[store.Pattern]int)
+		}
+		c.m[p] = n
+	}
+	c.mu.Unlock()
+	return n
+}

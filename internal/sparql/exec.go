@@ -15,6 +15,7 @@ import (
 // through execution.
 type execCtx struct {
 	st          *store.Store
+	estc        *estCache                  // nil = uncached estimates
 	models      map[store.ModelID]struct{} // nil = all models
 	singleModel store.ModelID              // set when the dataset is one model
 	vt          *varTable
@@ -52,6 +53,15 @@ func (ec *execCtx) child(vt *varTable) *execCtx {
 	c := *ec
 	c.vt = vt
 	return &c
+}
+
+// estimate returns the store's cardinality estimate for p, through the
+// engine's versioned cache when one is attached.
+func (ec *execCtx) estimate(p store.Pattern) int {
+	if ec.estc != nil {
+		return ec.estc.estimate(ec.st, p)
+	}
+	return ec.st.EstimateCount(p)
 }
 
 // term resolves an ID from the shared dictionary or, when the query
@@ -197,7 +207,7 @@ func (o *bgpOp) resolve(ec *execCtx) []resolvedPattern {
 			rp.ids[3] = id
 		}
 		if !rp.missing {
-			rp.estConst = ec.st.EstimateCount(rp.constPattern())
+			rp.estConst = ec.estimate(rp.constPattern())
 		}
 		rps[i] = rp
 	}

@@ -153,6 +153,8 @@ func (sh *bgpShared) tryParallel(b binding, yield func(binding) bool) (handled, 
 	}
 	rp := &sh.rps[sh.order[0]]
 	pat := rp.boundPattern(b)
+	// Uncached estimate: bound patterns can carry per-query overlay IDs
+	// (VALUES/BIND terms), which must not leak into the shared cache.
 	if ec.st.EstimateCount(pat) < parallelScanMinRows {
 		return false, true
 	}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"repro/internal/ntriples"
@@ -53,6 +54,9 @@ func (s *Store) Snapshot(w io.Writer) error {
 		vdefs = append(vdefs, vdef{name: name, members: members})
 	}
 	s.mu.RUnlock()
+	// s.virtual is a map; sort so equal stores snapshot to equal bytes
+	// (crash recovery is verified by byte-comparing snapshots).
+	sort.Slice(vdefs, func(i, j int) bool { return vdefs[i].name < vdefs[j].name })
 	for _, v := range vdefs {
 		if _, err := fmt.Fprintf(bw, "# virtual %s = %s\n", v.name, strings.Join(v.members, ",")); err != nil {
 			return err

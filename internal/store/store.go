@@ -51,6 +51,10 @@ type Store struct {
 
 	// openCursors counts Cursors created but not yet closed (leak gauge).
 	openCursors atomic.Int64
+
+	// version counts successful content mutations (Insert, Delete,
+	// Load); derived caches key their validity to it. See Version.
+	version atomic.Uint64
 }
 
 // DefaultIndexes are the two indexes Oracle creates on every semantic
@@ -369,8 +373,18 @@ func (s *Store) Load(model string, quads []rdf.Quad) (int, error) {
 	}
 	s.insertAllLocked(fresh)
 	s.count += len(fresh)
+	if len(fresh) > 0 {
+		s.version.Add(1)
+	}
 	return len(fresh), nil
 }
+
+// Version returns a counter bumped by every successful content
+// mutation (Insert, Delete, Load that changed at least one quad).
+// Consumers caching data derived from store contents — e.g. the
+// optimizer's cardinality estimates — compare versions to decide
+// whether their cache is still valid.
+func (s *Store) Version() uint64 { return s.version.Load() }
 
 // Insert adds a single quad to the model (incremental DML). Duplicate
 // inserts are no-ops returning false.
@@ -385,6 +399,7 @@ func (s *Store) Insert(model string, q rdf.Quad) (bool, error) {
 	if _, dying := s.dead[row]; dying {
 		delete(s.dead, row)
 		s.count++
+		s.version.Add(1)
 		return true, nil
 	}
 	if _, inDelta := s.deltaSet[row]; inDelta {
@@ -396,6 +411,7 @@ func (s *Store) Insert(model string, q rdf.Quad) (bool, error) {
 	s.delta = append(s.delta, row)
 	s.deltaSet[row] = struct{}{}
 	s.count++
+	s.version.Add(1)
 	if len(s.delta) >= compactThreshold {
 		s.compactLocked()
 	}
@@ -433,6 +449,7 @@ func (s *Store) Delete(model string, q rdf.Quad) (bool, error) {
 			}
 		}
 		s.count--
+		s.version.Add(1)
 		return true, nil
 	}
 	if !s.indexes[0].Contains(row) {
@@ -443,6 +460,7 @@ func (s *Store) Delete(model string, q rdf.Quad) (bool, error) {
 	}
 	s.dead[row] = struct{}{}
 	s.count--
+	s.version.Add(1)
 	if len(s.dead) >= compactThreshold {
 		s.compactLocked()
 	}
