@@ -1,6 +1,10 @@
 GO ?= go
 FUZZTIME ?= 30s
-BENCH_WORKERS ?= 8
+# Parallel-bench worker budget: default to the machine's cores so the
+# published BENCH_parallel.json is measured on real parallelism. The
+# bench target passes -require-cores, so asking for more workers than
+# GOMAXPROCS fails instead of publishing scheduler noise.
+BENCH_WORKERS ?= $(shell nproc 2>/dev/null || echo 8)
 BENCH_ITERS ?= 3
 BENCH_SCALE ?= 0.05
 # Profiling-overhead gate: fail when running EQ1-EQ12 with per-operator
@@ -10,11 +14,12 @@ BENCH_SCALE ?= 0.05
 BENCH_MAX_OVERHEAD ?= 5
 OVERHEAD_ITERS ?= 5
 
-.PHONY: check vet lint build test race crash-recovery bench bench-smoke fuzz-smoke
+.PHONY: check vet lint build test race crash-recovery repl-fault bench bench-smoke fuzz-smoke
 
 ## check: the full gate — vet, build, the pgrdfvet analyzers, the
-## race-enabled test suite, and the crash-recovery differential.
-check: vet build lint race crash-recovery
+## race-enabled test suite, the crash-recovery differential, and the
+## replication fault-injection differential.
+check: vet build lint race crash-recovery repl-fault
 
 vet:
 	$(GO) vet ./...
@@ -39,13 +44,20 @@ race:
 crash-recovery:
 	$(GO) test -race -count=1 ./internal/wal
 
+## repl-fault: the replication gate — a follower tailing through a
+## proxy that drops, delays and truncates mid-frame, plus a leader
+## kill/restart, must converge to a byte-identical store. Part of
+## `make check`; see DESIGN.md §13.
+repl-fault:
+	$(GO) test -race -count=1 ./internal/repl
+
 ## bench: Go micro-benchmarks plus the serial-vs-parallel comparison of
 ## the paper's scan-heavy queries and bulk load, written to
 ## BENCH_parallel.json. Tune with BENCH_WORKERS / BENCH_ITERS /
 ## BENCH_SCALE.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
-	$(GO) run ./cmd/benchpaper -parallelbench -workers $(BENCH_WORKERS) -iters $(BENCH_ITERS) -scale $(BENCH_SCALE) -out BENCH_parallel.json
+	$(GO) run ./cmd/benchpaper -parallelbench -require-cores -workers $(BENCH_WORKERS) -iters $(BENCH_ITERS) -scale $(BENCH_SCALE) -out BENCH_parallel.json
 	$(MAKE) bench-overhead
 
 ## bench-overhead: run EQ1-EQ12 on both schemes with profiling off and

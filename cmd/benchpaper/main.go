@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"time"
 
 	"repro/internal/bench"
@@ -34,6 +35,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "override generator seed")
 	parallelBench := flag.Bool("parallelbench", false, "run the serial-vs-parallel comparison (morsel-driven executor + bulk load) instead of the paper tables")
 	workers := flag.Int("workers", 8, "worker budget for -parallelbench")
+	requireCores := flag.Bool("require-cores", false, "fail -parallelbench when GOMAXPROCS < workers instead of just warning (guards published speedup numbers)")
 	iters := flag.Int("iters", 3, "timed iterations per query for -parallelbench and -profileoverhead (1 = smoke)")
 	out := flag.String("out", "", "write the -parallelbench/-profileoverhead JSON report to this file (default stdout)")
 	profileOverhead := flag.Bool("profileoverhead", false, "measure EQ1-EQ12 with vs without per-operator profiling and report the aggregate overhead")
@@ -122,6 +124,20 @@ func main() {
 			os.Exit(1)
 		}
 	case *parallelBench:
+		// Speedup numbers measured with fewer cores than workers are
+		// scheduler noise, not parallel speedups. Warn always; under
+		// -require-cores (the Makefile bench target) refuse to publish.
+		if *workers < 2 {
+			*workers = 2 // ParallelBench's own minimum
+		}
+		if procs := runtime.GOMAXPROCS(0); procs < *workers {
+			fmt.Fprintf(os.Stderr, "benchpaper: WARNING: GOMAXPROCS=%d < workers=%d; parallel timings on this host are not speedup evidence\n",
+				procs, *workers)
+			if *requireCores {
+				fmt.Fprintln(os.Stderr, "benchpaper: -require-cores set; refusing to write a report (rerun with -workers", procs, "or on a larger host)")
+				os.Exit(1)
+			}
+		}
 		rep, err := bench.ParallelBench(ctx, env, *workers, *iters)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchpaper:", err)

@@ -35,6 +35,7 @@ import (
 	"repro/internal/pg"
 	"repro/internal/pgrdf"
 	"repro/internal/rdf"
+	"repro/internal/repl"
 	"repro/internal/sparql"
 	"repro/internal/store"
 	"repro/internal/turtle"
@@ -439,12 +440,23 @@ func runServe(args []string) error {
 	fsync := fs.String("fsync", "always", "WAL fsync policy: always, interval or off")
 	fsyncInterval := fs.Duration("fsync-interval", 100*time.Millisecond, "fsync period under -fsync interval")
 	checkpointEvery := fs.Duration("checkpoint-every", 0, "background checkpoint period (0 = only POST /checkpoint)")
+	follow := fs.String("follow", "", "replicate from a leader URL (e.g. http://leader:3030); the endpoint serves read-only queries")
+	maxStaleness := fs.Duration("max-staleness", 0, "with -follow: fail reads with 503 once the leader has been unreachable this long (0 = serve stale reads forever)")
+	degradedAfter := fs.Duration("degraded-after", 15*time.Second, "with -follow: leader-contact age at which /stats reports degraded")
 	fs.Parse(args)
+
+	if *follow != "" && (*dataDir != "" || *data != "" || *restore != "") {
+		return fmt.Errorf("-follow replicates the leader's data and cannot be combined with -data, -restore or -data-dir")
+	}
 
 	var st *store.Store
 	var l *wal.Log
 	var err error
-	if *dataDir != "" {
+	if *follow != "" {
+		// The follower starts empty; the replication loop swaps in the
+		// leader's data once the bootstrap snapshot has been restored.
+		st = store.New()
+	} else if *dataDir != "" {
 		policy, perr := wal.ParseSyncPolicy(*fsync)
 		if perr != nil {
 			return perr
@@ -516,12 +528,29 @@ func runServe(args []string) error {
 		h.AttachWAL(l)
 		l.StartCheckpointer(st, *checkpointEvery)
 	}
-	fmt.Fprintf(os.Stderr, "SPARQL endpoint on http://%s/sparql (updates: http://%s/update, stats: http://%s/stats, metrics: http://%s/metrics)\n",
-		*addr, *addr, *addr, *addr)
 
 	srv := &http.Server{Addr: *addr, Handler: h}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *follow != "" {
+		f := repl.New(repl.Options{
+			Leader:        *follow,
+			MaxStaleness:  *maxStaleness,
+			DegradedAfter: *degradedAfter,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "pgrdf: "+format+"\n", args...)
+			},
+		})
+		h.AttachFollower(f)
+		go f.Run(ctx) //nolint — returns only ctx.Err, reported via the signal path
+		fmt.Fprintf(os.Stderr, "pgrdf: bootstrapping from %s (retrying until the leader answers)...\n", *follow)
+		if _, err := f.WaitReady(ctx); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "pgrdf: following %s; serving read-only queries\n", *follow)
+	}
+	fmt.Fprintf(os.Stderr, "SPARQL endpoint on http://%s/sparql (updates: http://%s/update, stats: http://%s/stats, metrics: http://%s/metrics)\n",
+		*addr, *addr, *addr, *addr)
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	select {

@@ -34,3 +34,23 @@ func suppressed(l *wal.Log) {
 	//pgrdfvet:ignore walerr -- test harness tears down a log whose disk is already gone
 	l.Sync()
 }
+
+// The replication apply path: wal.ApplyBatch and wal.DecodeFrames are
+// how a follower extends its copy of the leader's history, so a
+// dropped error silently forks the replica. (The repl.Follower
+// methods under the same rule are unexported; they are checked inside
+// the repl package itself when pgrdfvet runs over ./...)
+func applyPath(b wal.Batch, data []byte) {
+	wal.ApplyBatch(nil, b)         // want "ApplyBatch error discarded"
+	_, _, _ = wal.DecodeFrames(data, nil) // want "DecodeFrames error assigned to _"
+	go wal.ApplyBatch(nil, b)      // want "ApplyBatch error discarded by go statement"
+}
+
+func applyPathGood(b wal.Batch, data []byte) error {
+	if err := wal.ApplyBatch(nil, b); err != nil {
+		return err
+	}
+	consumed, _, err := wal.DecodeFrames(data, nil)
+	_ = consumed
+	return err
+}

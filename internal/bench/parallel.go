@@ -17,14 +17,22 @@ import (
 var parallelBenchQueries = []string{"EQ3", "EQ7a", "EQ11d", "EQ12"}
 
 // ParallelQueryResult is one query's serial-vs-parallel comparison.
+//
+// Rows is the serial executor's count and ParallelRows the parallel
+// executor's; ParallelBench fails if they ever differ, so a published
+// report is itself evidence the executors agreed. A zero count is not
+// a measurement bug: EQ3 and EQ7a are 4-hop chain SELECTs whose
+// same-tag join finds no matches at small synthetic scales, while the
+// scans and joins being timed still do their full work.
 type ParallelQueryResult struct {
-	Name       string  `json:"name"`
-	Scheme     string  `json:"scheme"`
-	Model      string  `json:"model"`
-	Rows       int     `json:"rows"`
-	SerialMS   float64 `json:"serial_ms"`
-	ParallelMS float64 `json:"parallel_ms"`
-	Speedup    float64 `json:"speedup"`
+	Name         string  `json:"name"`
+	Scheme       string  `json:"scheme"`
+	Model        string  `json:"model"`
+	Rows         int     `json:"rows"`
+	ParallelRows int     `json:"parallel_rows"`
+	SerialMS     float64 `json:"serial_ms"`
+	ParallelMS   float64 `json:"parallel_ms"`
+	Speedup      float64 `json:"speedup"`
 }
 
 // ParallelLoadResult compares serial vs parallel bulk-load time for the
@@ -77,6 +85,16 @@ func ParallelBench(ctx context.Context, env *Env, workers, iters int) (*Parallel
 		if err != nil {
 			return nil, fmt.Errorf("parallelbench %s (serial): %w", name, err)
 		}
+		pres, err := par.QueryContext(ctx, model, q) // warm-up + row count
+		if err != nil {
+			return nil, fmt.Errorf("parallelbench %s (parallel): %w", name, err)
+		}
+		if resultCount(pres) != resultCount(res) {
+			// A timing report over divergent results would be
+			// meaningless — and would hide a correctness bug.
+			return nil, fmt.Errorf("parallelbench %s: parallel executor returned %d rows, serial returned %d",
+				name, resultCount(pres), resultCount(res))
+		}
 		sMed, err := medianRun(ctx, serial, model, q, iters)
 		if err != nil {
 			return nil, fmt.Errorf("parallelbench %s (serial): %w", name, err)
@@ -86,13 +104,14 @@ func ParallelBench(ctx context.Context, env *Env, workers, iters int) (*Parallel
 			return nil, fmt.Errorf("parallelbench %s (parallel): %w", name, err)
 		}
 		rep.Queries = append(rep.Queries, ParallelQueryResult{
-			Name:       name,
-			Scheme:     se.Scheme.String(),
-			Model:      model,
-			Rows:       resultCount(res),
-			SerialMS:   ms(sMed),
-			ParallelMS: ms(pMed),
-			Speedup:    speedup(sMed, pMed),
+			Name:         name,
+			Scheme:       se.Scheme.String(),
+			Model:        model,
+			Rows:         resultCount(res),
+			ParallelRows: resultCount(pres),
+			SerialMS:     ms(sMed),
+			ParallelMS:   ms(pMed),
+			Speedup:      speedup(sMed, pMed),
 		})
 	}
 	load, err := parallelLoadBench(env, workers, iters)

@@ -18,7 +18,10 @@ import (
 // POST /checkpoint becomes live. Call it once, before serving.
 func (s *Server) AttachWAL(l *wal.Log) {
 	s.wal = l
-	s.eng.CommitHook = func(muts []sparql.Mutation, apply func() error) error {
+	// Leaders never swap their store, so hooking the engine loaded here
+	// is safe: SwapStore is only driven by a follower, which runs
+	// without a WAL attached.
+	s.engine().CommitHook = func(muts []sparql.Mutation, apply func() error) error {
 		return l.Commit(batchOf(muts), apply)
 	}
 }
@@ -49,7 +52,7 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 			"server is running without a data directory; start with -data-dir to enable checkpoints")
 		return
 	}
-	if err := s.wal.Checkpoint(s.eng.Store()); err != nil {
+	if err := s.wal.Checkpoint(s.engine().Store()); err != nil {
 		writeJSONError(w, http.StatusInternalServerError, "checkpoint", err.Error())
 		return
 	}

@@ -64,7 +64,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusMethodNotAllowed, "method", "method not allowed")
 		return
 	}
-	snap := s.eng.MetricsSnapshot()
+	eng := s.engine()
+	snap := eng.MetricsSnapshot()
 	var m metricsWriter
 
 	// Query counters and latency histogram, labelled by query form.
@@ -105,7 +106,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.counter("pgrdf_requests_shed_total", "Requests shed with 503 by admission control.", s.shedCount.Load())
 
 	// Store gauges.
-	st := s.eng.Store()
+	st := eng.Store()
 	m.gauge("pgrdf_quads", "Quads stored across all models.", int64(st.Len()))
 	m.gauge("pgrdf_dict_terms", "Terms in the shared dictionary.", int64(st.Dict().Len()))
 	m.gauge("pgrdf_dict_lexical_bytes", "Lexical bytes held by the dictionary.", st.Dict().LexicalBytes())
@@ -121,6 +122,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		m.gauge("pgrdf_checkpoint_last_bytes", "Size of the most recent checkpoint snapshot.", ws.LastCheckpointBytes)
 		m.family("pgrdf_checkpoint_last_duration_seconds", "Wall time of the most recent checkpoint.", "gauge")
 		m.sample("pgrdf_checkpoint_last_duration_seconds", fmt.Sprintf("%g", ws.LastCheckpointDuration.Seconds()))
+	}
+
+	// Replication (present only on followers).
+	if s.follower != nil {
+		fs := s.follower.Status()
+		degraded := int64(0)
+		if fs.Degraded {
+			degraded = 1
+		}
+		m.gauge("pgrdf_repl_degraded", "1 while the leader is unreachable and reads are stale.", degraded)
+		m.gauge("pgrdf_repl_offset", "Last applied byte offset in the leader's log epoch.", fs.Offset)
+		m.gauge("pgrdf_repl_epoch", "Leader log epoch the follower is tailing.", int64(fs.Epoch))
+		m.gauge("pgrdf_repl_bytes_behind", "Log bytes between the follower and the leader's durable end.", fs.BytesBehind)
+		m.gauge("pgrdf_repl_records_behind", "Records between the follower and the leader's durable end.", fs.RecordsBehind)
+		m.family("pgrdf_repl_last_contact_seconds", "Age of the last successful leader contact (-1 = never).", "gauge")
+		m.sample("pgrdf_repl_last_contact_seconds", fmt.Sprintf("%g", fs.LastContactMS/1000))
+		m.counter("pgrdf_repl_applied_records_total", "Log records applied since start.", fs.AppliedRecords)
+		m.counter("pgrdf_repl_bootstraps_total", "Snapshot bootstraps completed.", fs.Bootstraps)
+		m.counter("pgrdf_repl_divergences_total", "Divergences detected (each forces a re-bootstrap).", fs.Divergences)
+		m.counter("pgrdf_repl_epoch_adoptions_total", "Leader checkpoints adopted without re-bootstrap.", fs.EpochAdoptions)
+		m.counter("pgrdf_repl_retry_errors_total", "Failed leader interactions retried with backoff.", fs.RetryErrors)
+		m.counter("pgrdf_repl_stale_rejected_total", "Reads refused with 503 for exceeding the staleness ceiling.", fs.StaleRejected)
 	}
 
 	// Per-index rows and scan counters.

@@ -1,0 +1,160 @@
+package httpapi
+
+// Replication glue (DESIGN.md §13). Leader side: GET /wal streams
+// CRC-framed log records from a byte offset, long-polling when the
+// follower is caught up; the bootstrap snapshot rides on
+// /export?format=snapshot (see handleExport). Follower side:
+// AttachFollower surfaces replication lag in /stats and /metrics and
+// optionally fails stale reads with 503.
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/repl"
+	"repro/internal/wal"
+)
+
+// maxPollWait caps how long one /wal request may be held open so a
+// misconfigured client cannot pin a connection indefinitely.
+const maxPollWait = 30 * time.Second
+
+// defaultTailChunk bounds one tail response when the client sends no
+// max parameter.
+const defaultTailChunk = 4 << 20
+
+// setPositionHeaders writes a replication position into response
+// headers (shared by the snapshot and tail handlers).
+func setPositionHeaders(h http.Header, pos wal.Position) {
+	h.Set(repl.HeaderID, pos.ID)
+	h.Set(repl.HeaderEpoch, strconv.FormatUint(pos.Epoch, 10))
+	h.Set(repl.HeaderOffset, strconv.FormatInt(pos.Offset, 10))
+	h.Set(repl.HeaderSeq, strconv.FormatUint(pos.NextSeq, 10))
+	h.Set(repl.HeaderEpochStartSeq, strconv.FormatUint(pos.EpochStartSeq, 10))
+}
+
+// handleWalTail serves GET /wal?from=&epoch=&id=&wait=&max= — raw
+// framed record bytes starting at the requested offset of the current
+// log epoch. An empty log at the requested position long-polls up to
+// `wait` for new records. A position outside the leader's history
+// answers 409 with a repl.Diverged body carrying the leader's current
+// position, so the follower can decide between epoch adoption and a
+// full re-bootstrap.
+func (s *Server) handleWalTail(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSONError(w, http.StatusMethodNotAllowed, "method", "method not allowed")
+		return
+	}
+	if s.wal == nil {
+		writeJSONError(w, http.StatusConflict, "no-wal",
+			"server is running without a data directory; start with -data-dir to enable replication")
+		return
+	}
+	q := r.URL.Query()
+	from, err := strconv.ParseInt(q.Get("from"), 10, 64)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, "request", "bad or missing from parameter")
+		return
+	}
+	epoch, err := strconv.ParseUint(q.Get("epoch"), 10, 64)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, "request", "bad or missing epoch parameter")
+		return
+	}
+	maxBytes := defaultTailChunk
+	if v := q.Get("max"); v != "" {
+		if maxBytes, err = strconv.Atoi(v); err != nil || maxBytes <= 0 {
+			writeJSONError(w, http.StatusBadRequest, "request", "bad max parameter")
+			return
+		}
+	}
+	var wait time.Duration
+	if v := q.Get("wait"); v != "" {
+		if wait, err = time.ParseDuration(v); err != nil {
+			writeJSONError(w, http.StatusBadRequest, "request", "bad wait parameter")
+			return
+		}
+		wait = min(wait, maxPollWait)
+	}
+	deadline := time.Now().Add(wait)
+
+	for {
+		// Grab the wake channel before reading: a record appended
+		// between the read and the wait would otherwise be missed and
+		// cost one full poll interval of replication lag.
+		wake := s.wal.WakeChan()
+		data, pos, err := s.wal.ReadLogAt(epoch, from, maxBytes)
+		if err != nil {
+			s.walDiverged(w, err, pos)
+			return
+		}
+		if id := q.Get("id"); id != "" && id != pos.ID {
+			s.walDiverged(w, wal.ErrDiverged, pos)
+			return
+		}
+		if len(data) > 0 || wait <= 0 || !time.Now().Before(deadline) {
+			setPositionHeaders(w.Header(), pos)
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+			w.Write(data)
+			return
+		}
+		timer := time.NewTimer(time.Until(deadline))
+		select {
+		case <-wake:
+			timer.Stop()
+		case <-timer.C:
+		case <-r.Context().Done():
+			timer.Stop()
+			return // client went away while we were holding the poll
+		}
+	}
+}
+
+// walDiverged answers a tail request whose position is not part of
+// this leader's history.
+func (s *Server) walDiverged(w http.ResponseWriter, err error, pos wal.Position) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusConflict)
+	json.NewEncoder(w).Encode(repl.Diverged{
+		Error:    err.Error(),
+		Kind:     "diverged",
+		Position: pos,
+	})
+}
+
+// AttachFollower wires a replication follower into the server: the
+// endpoint becomes read-only, every re-bootstrap swaps the serving
+// store, /stats and /metrics report replication lag, and — when the
+// follower is configured with a staleness ceiling — reads past it are
+// refused with 503 + Retry-After. Call it once, before serving and
+// before the follower's Run loop starts.
+func (s *Server) AttachFollower(f *repl.Follower) {
+	s.follower = f
+	s.ReadOnly = true
+	f.OnStore = s.SwapStore
+	if st := f.Store(); st != nil {
+		s.SwapStore(st)
+	}
+}
+
+// rejectStale refuses a read with 503 when the follower's copy has
+// exceeded the configured staleness ceiling. Serving stale reads is
+// the default degradation mode; this only fires when the operator
+// asked for bounded staleness.
+func (s *Server) rejectStale(w http.ResponseWriter) bool {
+	if s.follower == nil || !s.follower.Stale() {
+		return false
+	}
+	s.follower.NoteStaleRejected()
+	secs := int(s.follower.RetryAfter() / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSONError(w, http.StatusServiceUnavailable, "stale",
+		"replica is stale: leader unreachable past the configured staleness ceiling")
+	return true
+}

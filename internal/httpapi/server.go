@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -15,6 +16,7 @@ import (
 
 	"repro/internal/ntriples"
 	"repro/internal/rdf"
+	"repro/internal/repl"
 	"repro/internal/sparql"
 	"repro/internal/store"
 	"repro/internal/wal"
@@ -226,7 +228,10 @@ func (a *admission) close() {
 // that sheds excess load with 503 + Retry-After. Error responses carry
 // a JSON body: {"error": "...", "kind": "..."}.
 type Server struct {
-	eng *sparql.Engine
+	// eng is swapped wholesale when a replication follower
+	// re-bootstraps (SwapStore); all handlers load it once per request
+	// through engine().
+	eng atomic.Pointer[sparql.Engine]
 	mux *http.ServeMux
 	cfg Config
 	adm *admission
@@ -237,8 +242,12 @@ type Server struct {
 	draining atomic.Bool
 	// ReadOnly disables the /update endpoint.
 	ReadOnly bool
-	// wal, when attached, journals updates and serves POST /checkpoint.
+	// wal, when attached, journals updates and serves POST /checkpoint
+	// plus the GET /wal replication tail.
 	wal *wal.Log
+	// follower, when attached, adds replication lag to /stats and
+	// /metrics and optionally fails stale reads with 503.
+	follower *repl.Follower
 }
 
 // NewServer builds a handler over the store with DefaultConfig.
@@ -251,36 +260,19 @@ func NewServer(st *store.Store) *Server {
 // disable the corresponding limit.
 func NewServerWithConfig(st *store.Store, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	eng := sparql.NewEngine(st)
-	if cfg.Parallelism < 0 {
-		eng.Parallelism = 1
-	} else {
-		eng.Parallelism = cfg.Parallelism
-	}
-	eng.Limits = sparql.Budget{
-		// Timeouts are applied per request from the HTTP layer so
-		// admission-queue wait never eats into execution time.
-		MaxRows:     max(cfg.MaxRows, 0),
-		MaxBindings: max(cfg.MaxBindings, 0),
-	}
-	if cfg.SlowQueryLog != nil {
-		eng.SlowQueryLog = cfg.SlowQueryLog
-		if cfg.SlowQueryThreshold > 0 {
-			eng.SlowQueryThreshold = cfg.SlowQueryThreshold
-		} // <0 means log everything: the engine's zero threshold
-	}
 	s := &Server{
-		eng: eng,
 		mux: http.NewServeMux(),
 		cfg: cfg,
 		adm: newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.QueueWait),
 	}
+	s.eng.Store(s.newEngine(st))
 	s.mux.HandleFunc("/sparql", s.handleQuery)
 	s.mux.HandleFunc("/update", s.handleUpdate)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/export", s.handleExport)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("/wal", s.handleWalTail)
 	if cfg.EnablePprof {
 		// Mounted per-handler (not via the net/http/pprof init side
 		// effect on DefaultServeMux) so the profiles exist only on this
@@ -292,6 +284,45 @@ func NewServerWithConfig(st *store.Store, cfg Config) *Server {
 		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	return s
+}
+
+// newEngine builds a query engine over st with the server's
+// guardrails applied — the single construction path shared by
+// NewServerWithConfig and SwapStore.
+func (s *Server) newEngine(st *store.Store) *sparql.Engine {
+	eng := sparql.NewEngine(st)
+	if s.cfg.Parallelism < 0 {
+		eng.Parallelism = 1
+	} else {
+		eng.Parallelism = s.cfg.Parallelism
+	}
+	eng.Limits = sparql.Budget{
+		// Timeouts are applied per request from the HTTP layer so
+		// admission-queue wait never eats into execution time.
+		MaxRows:     max(s.cfg.MaxRows, 0),
+		MaxBindings: max(s.cfg.MaxBindings, 0),
+	}
+	if s.cfg.SlowQueryLog != nil {
+		eng.SlowQueryLog = s.cfg.SlowQueryLog
+		if s.cfg.SlowQueryThreshold > 0 {
+			eng.SlowQueryThreshold = s.cfg.SlowQueryThreshold
+		} // <0 means log everything: the engine's zero threshold
+	}
+	return eng
+}
+
+// engine returns the current query engine. Handlers must load it once
+// per request and use that copy throughout, so a concurrent SwapStore
+// cannot split one request across two stores.
+func (s *Server) engine() *sparql.Engine { return s.eng.Load() }
+
+// SwapStore replaces the server's store with a fresh one, rebuilding
+// the query engine around it. Replication followers call it after a
+// re-bootstrap; in-flight requests finish against the engine they
+// loaded at admission. Engine-level metrics (query counters, plan
+// cache) restart from zero with the new engine.
+func (s *Server) SwapStore(st *store.Store) {
+	s.eng.Store(s.newEngine(st))
 }
 
 // Config returns the effective (default-filled) configuration.
@@ -433,6 +464,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if s.rejectStale(w) {
+		return
+	}
 	release, ok := s.admit(w, r)
 	if !ok {
 		return
@@ -440,10 +474,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	ctx, cancel := requestCtx(r, s.cfg.QueryTimeout)
 	defer cancel()
+	eng := s.engine()
 
 	switch form {
 	case sparql.FormAsk:
-		v, err := s.eng.AskContext(ctx, model, query)
+		v, err := eng.AskContext(ctx, model, query)
 		if err != nil {
 			queryError(w, err)
 			return
@@ -454,9 +489,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		var quads []rdf.Quad
 		var err error
 		if form == sparql.FormConstruct {
-			quads, err = s.eng.ConstructContext(ctx, model, query)
+			quads, err = eng.ConstructContext(ctx, model, query)
 		} else {
-			quads, err = s.eng.DescribeContext(ctx, model, query)
+			quads, err = eng.DescribeContext(ctx, model, query)
 		}
 		if err != nil {
 			queryError(w, err)
@@ -466,7 +501,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		nw := ntriples.NewWriter(w)
 		nw.WriteAll(quads)
 	default:
-		res, err := s.eng.QueryContext(ctx, model, query)
+		res, err := eng.QueryContext(ctx, model, query)
 		if err != nil {
 			queryError(w, err)
 			return
@@ -556,7 +591,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := requestCtx(r, s.cfg.UpdateTimeout)
 	defer cancel()
 
-	res, err := s.eng.UpdateContext(ctx, model, request)
+	res, err := s.engine().UpdateContext(ctx, model, request)
 	if err != nil {
 		queryError(w, err)
 		return
@@ -575,21 +610,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if model != "" {
 		models = append(models, model)
 	}
-	st, err := s.eng.Store().Stats(models...)
+	eng := s.engine()
+	st, err := eng.Store().Stats(models...)
 	if err != nil {
 		writeJSONError(w, http.StatusNotFound, "unknown-model", err.Error())
 		return
 	}
-	rep := s.eng.Store().Storage()
-	ps := s.eng.ParallelStats()
-	par := s.eng.Parallelism
+	rep := eng.Store().Storage()
+	ps := eng.ParallelStats()
+	par := eng.Parallelism
 	if par == 0 {
 		par = runtime.GOMAXPROCS(0) // the engine default, reported as its effective value
 	}
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w, `{"quads":%d,"subjects":%d,"predicates":%d,"objects":%d,"namedGraphs":%d,"storageBytes":%d,"openCursors":%d,`+
 		`"parallelism":%d,"parallelQueries":%d,"parallelWorkers":%d,"parallelMorsels":%d,"parallelHashBuilds":%d,"activeWorkers":%d`,
-		st.Quads, st.Subjects, st.Predicates, st.Objects, st.NamedGraphs, rep.Total, s.eng.Store().OpenCursors(),
+		st.Quads, st.Subjects, st.Predicates, st.Objects, st.NamedGraphs, rep.Total, eng.Store().OpenCursors(),
 		par, ps.Queries, ps.Workers, ps.Morsels, ps.HashBuilds, ps.ActiveWorkers)
 	if s.wal != nil {
 		ws := s.wal.Stats()
@@ -597,6 +633,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			`"lastCheckpointBytes":%d,"lastCheckpointSeconds":%g,"replayedRecords":%d,"tornBytesDropped":%d`,
 			ws.WalBytes, ws.WalRecords, ws.Seq, ws.Checkpoints, ws.CheckpointErrors,
 			ws.LastCheckpointBytes, ws.LastCheckpointDuration.Seconds(), ws.ReplayedRecords, ws.TornBytesDropped)
+	}
+	if s.follower != nil {
+		fs := s.follower.Status()
+		fmt.Fprintf(w, `,"repl":{"leader":%q,"state":%q,"degraded":%t,"epoch":%d,"offset":%d,"nextSeq":%d,`+
+			`"bytesBehind":%d,"recordsBehind":%d,"lastContactMS":%g,"appliedRecords":%d,"bootstraps":%d,`+
+			`"divergences":%d,"epochAdoptions":%d,"retryErrors":%d,"staleRejected":%d}`,
+			fs.Leader, fs.State, fs.Degraded, fs.Epoch, fs.Offset, fs.NextSeq,
+			fs.BytesBehind, fs.RecordsBehind, fs.LastContactMS, fs.AppliedRecords, fs.Bootstraps,
+			fs.Divergences, fs.EpochAdoptions, fs.RetryErrors, fs.StaleRejected)
 	}
 	fmt.Fprintln(w, "}")
 }
@@ -616,9 +661,19 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 	case "snapshot":
 		// The directive-carrying snapshot format (models, virtual models,
 		// index config): unlike a plain N-Quads export, this round-trips
-		// through store.Restore and pgrdf serve -restore.
+		// through store.Restore and pgrdf serve -restore. With a WAL
+		// attached this is also the replication bootstrap: the snapshot
+		// streams under the commit lock so the position in the headers
+		// corresponds exactly to the bytes on the wire.
+		st := s.engine().Store()
+		if s.wal != nil {
+			pos, release := s.wal.BeginSnapshot()
+			defer release()
+			setPositionHeaders(w.Header(), pos)
+			w.Header().Set(repl.HeaderSnapshotQuads, strconv.Itoa(st.Len()))
+		}
 		w.Header().Set("Content-Type", "application/n-quads")
-		if err := s.eng.Store().Snapshot(w); err != nil {
+		if err := st.Snapshot(w); err != nil {
 			return // headers already sent; the stream just ends short
 		}
 		return
@@ -632,7 +687,7 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusBadRequest, "request", "missing model parameter")
 		return
 	}
-	st := s.eng.Store()
+	st := s.engine().Store()
 	m := st.LookupModel(model)
 	if m == store.NoID {
 		writeJSONError(w, http.StatusNotFound, "unknown-model", fmt.Sprintf("unknown model %q", model))

@@ -30,8 +30,20 @@ type Log struct {
 	// mu serializes commits against checkpoints: while a checkpoint
 	// holds it, no record can land between the snapshot read and the
 	// log truncation, and every logged record is applied to the store
-	// before the snapshot reads it.
+	// before the snapshot reads it. Replication readers (ReadLogAt,
+	// BeginSnapshot) take it too, so a tail read never races a
+	// truncation.
 	mu sync.Mutex
+
+	// Replication identity (DESIGN.md §13), guarded by mu. replID is
+	// fixed for the directory's lifetime; epoch increments on every
+	// log truncation; epochStartSeq is the sequence number of the
+	// first record of the current epoch; wake is closed (and replaced
+	// lazily) whenever the log grows or truncates.
+	replID        string
+	epoch         uint64
+	epochStartSeq uint64
+	wake          chan struct{}
 
 	checkpoints      atomic.Int64
 	checkpointErrors atomic.Int64
@@ -66,14 +78,23 @@ func Open(dir string, opts Options) (*store.Store, *Log, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	meta, err := loadOrCreateReplMeta(dir)
+	if err != nil {
+		return nil, nil, err
+	}
 
 	f, err := os.OpenFile(filepath.Join(dir, logFile), os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("wal: open log: %w", err)
 	}
-	l := &Log{dir: dir, opts: opts, done: make(chan struct{})}
+	l := &Log{dir: dir, opts: opts, done: make(chan struct{}),
+		replID: meta.ID, epoch: meta.Epoch}
 	records := int64(0)
+	firstSeq := uint64(0)
 	good, lastSeq, err := readRecords(bufio.NewReaderSize(f, 1<<20), func(seq uint64, b Batch) error {
+		if records == 0 {
+			firstSeq = seq
+		}
 		records++
 		return replayBatch(st, b)
 	})
@@ -102,7 +123,20 @@ func Open(dir string, opts Options) (*store.Store, *Log, error) {
 	}
 	l.replayed = records
 	l.tornDropped = size - good
-	l.w = newWriter(f, good, records, lastSeq+1, opts.Sync)
+	// Sequence numbers must stay monotonic across restarts even when a
+	// checkpoint left the log empty: repl.meta carries the next
+	// sequence as of the last truncation, and the log tail (appended
+	// after that) can only raise it.
+	seq := lastSeq + 1
+	if meta.NextSeq > seq {
+		seq = meta.NextSeq
+	}
+	if records > 0 {
+		l.epochStartSeq = firstSeq
+	} else {
+		l.epochStartSeq = seq
+	}
+	l.w = newWriter(f, good, records, seq, opts.Sync)
 
 	if opts.Sync == SyncInterval {
 		every := opts.SyncEvery
@@ -135,31 +169,19 @@ func openCheckpoint(dir string, opts Options) (*store.Store, error) {
 	defer f.Close()
 	st, err := store.Restore(bufio.NewReaderSize(f, 1<<20))
 	if err != nil {
-		return nil, fmt.Errorf("wal: restore checkpoint: %w", err)
+		// The checkpoint exists but cannot be parsed. Failing loudly is
+		// the only safe answer: opening a fresh store here would serve
+		// (and eventually re-checkpoint) an empty dataset over data the
+		// operator believes is durable.
+		return nil, fmt.Errorf("%w: restore %s: %v", ErrCheckpointCorrupt, checkpointFile, err)
 	}
 	return st, nil
 }
 
-// replayBatch applies one journaled batch to the store. Replay is
-// idempotent (duplicate inserts and absent deletes are no-ops) and
-// tolerant of deletes against models the checkpoint never materialized.
+// replayBatch applies one journaled batch to the store during
+// recovery — the same path follower replication uses (see ApplyBatch).
 func replayBatch(st *store.Store, b Batch) error {
-	for _, op := range b.Ops {
-		switch op.Kind {
-		case OpInsert:
-			if _, err := st.Insert(op.Model, op.Quad); err != nil {
-				return err
-			}
-		case OpDelete:
-			if st.LookupModel(op.Model) == store.NoID {
-				continue
-			}
-			if _, err := st.Delete(op.Model, op.Quad); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+	return ApplyBatch(st, b)
 }
 
 // Commit journals the batch and, once it is durably framed, runs apply
@@ -174,6 +196,10 @@ func (l *Log) Commit(b Batch, apply func() error) error {
 		if err := l.w.Append(b); err != nil {
 			return err
 		}
+		// The record is durably framed; wake long-poll tailers. Waking
+		// before apply is fine — readers of the log see the record
+		// bytes, and followers apply them to their own stores.
+		l.wakeLocked()
 	}
 	if apply == nil {
 		return nil
@@ -242,10 +268,24 @@ func (l *Log) checkpointLocked(st *store.Store) (int64, error) {
 		return 0, fmt.Errorf("wal: publish checkpoint: %w", err)
 	}
 	syncDir(l.dir) // make the rename itself durable (best effort)
+	// Advance the replication epoch before truncating: a follower must
+	// never read post-truncation bytes under a pre-truncation epoch.
+	// If the meta write fails the checkpoint is still valid (replaying
+	// the untruncated log over it is idempotent), so the error only
+	// aborts the truncation.
+	nextSeq := l.w.Seq()
+	if err := writeReplMeta(l.dir, replMeta{ID: l.replID, Epoch: l.epoch + 1, NextSeq: nextSeq}); err != nil {
+		return 0, err
+	}
+	l.epoch++
+	l.epochStartSeq = nextSeq
 	// The snapshot now covers every logged commit; drop the log.
 	if err := l.w.reset(); err != nil {
 		return 0, fmt.Errorf("wal: truncate log after checkpoint: %w", err)
 	}
+	// Wake tailers so they observe the epoch change promptly instead of
+	// at their next poll timeout.
+	l.wakeLocked()
 	return size, nil
 }
 

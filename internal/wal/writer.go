@@ -184,6 +184,16 @@ func (w *Writer) reset() error {
 	return nil
 }
 
+// readAt reads len(p) bytes of the log file at offset off. Replication
+// tail reads go through it: taking w.mu means the read never overlaps
+// an in-flight Append or truncation, so the bytes are always whole,
+// fully framed records (the caller bounds off+len(p) by Bytes()).
+func (w *Writer) readAt(p []byte, off int64) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.ReadAt(p, off)
+}
+
 // Bytes returns the log size in fully framed record bytes.
 func (w *Writer) Bytes() int64 {
 	w.mu.Lock()
