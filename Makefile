@@ -14,7 +14,7 @@ BENCH_SCALE ?= 0.05
 BENCH_MAX_OVERHEAD ?= 5
 OVERHEAD_ITERS ?= 5
 
-.PHONY: check vet lint build test race crash-recovery repl-fault bench bench-smoke fuzz-smoke
+.PHONY: check vet lint lint-json build test race crash-recovery repl-fault bench bench-smoke fuzz-smoke
 
 ## check: the full gate — vet, build, the pgrdfvet analyzers, the
 ## race-enabled test suite, the crash-recovery differential, and the
@@ -25,9 +25,14 @@ vet:
 	$(GO) vet ./...
 
 ## lint: run the repo-specific static analyzers (see DESIGN.md,
-## "Static analysis gate"). Exit code 1 means findings.
+## "Static analysis gate" and §14). Exit code 1 means findings.
 lint:
 	$(GO) run ./cmd/pgrdfvet ./...
+
+## lint-json: same gate, but write a machine-readable findings report
+## to pgrdfvet.json (uploaded as a CI artifact). Exit code matches lint.
+lint-json:
+	$(GO) run ./cmd/pgrdfvet -json ./... > pgrdfvet.json
 
 build:
 	$(GO) build ./...

@@ -60,7 +60,20 @@ func (f Finding) String() string {
 
 // All returns the pgrdfvet analyzer suite.
 func All() []*Analyzer {
-	return []*Analyzer{Ctxflow, Errsentinel, Guardtick, Idsafe, Iterclose, Walerr}
+	return []*Analyzer{
+		Atomiconly, Ctxflow, Errsentinel, Goroutinelife, Guardedby,
+		Guardtick, Idsafe, Iterclose, Walerr,
+	}
+}
+
+// knownAnalyzerNames returns the valid targets of a pgrdfvet:ignore
+// directive.
+func knownAnalyzerNames() map[string]bool {
+	names := map[string]bool{"all": true}
+	for _, a := range All() {
+		names[a.Name] = true
+	}
+	return names
 }
 
 // ignoreRE matches suppression directives:
@@ -77,14 +90,29 @@ type ignoreKey struct {
 	line int
 }
 
-// ignoreIndex maps (file, line) to the analyzer names suppressed there.
-type ignoreIndex map[ignoreKey]map[string]bool
+// ignoreDirective is one //pgrdfvet:ignore comment. Usage is tracked
+// per analyzer name so stale suppressions — directives that no longer
+// mask any finding — are themselves reported.
+type ignoreDirective struct {
+	pos       token.Position
+	analyzers []string
+	used      map[string]bool
+}
+
+// ignoreIndex holds a package's suppression directives, addressable by
+// the (file, line) pairs they cover.
+type ignoreIndex struct {
+	byLine map[ignoreKey][]*ignoreDirective
+	list   []*ignoreDirective
+}
 
 // buildIgnoreIndex scans a package's comments for directives. Malformed
-// directives (no justification) are returned as findings so the gate
-// cannot be waved through silently.
-func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) (ignoreIndex, []Finding) {
-	idx := make(ignoreIndex)
+// directives (no justification) and directives naming analyzers that do
+// not exist are returned as findings so the gate cannot be waved
+// through silently.
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) (*ignoreIndex, []Finding) {
+	idx := &ignoreIndex{byLine: make(map[ignoreKey][]*ignoreDirective)}
+	known := knownAnalyzerNames()
 	var bad []Finding
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -109,18 +137,29 @@ func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) (ignoreIndex, []Fi
 					continue
 				}
 				pos := fset.Position(c.Pos())
+				d := &ignoreDirective{pos: pos, used: make(map[string]bool)}
 				for _, name := range strings.Split(m[1], ",") {
 					name = strings.TrimSpace(name)
 					if name == "" {
 						continue
 					}
-					for _, line := range []int{pos.Line, pos.Line + 1} {
-						k := ignoreKey{file: pos.Filename, line: line}
-						if idx[k] == nil {
-							idx[k] = make(map[string]bool)
-						}
-						idx[k][name] = true
+					if !known[name] {
+						bad = append(bad, Finding{
+							Analyzer: "pgrdfvet",
+							Pos:      pos,
+							Message:  fmt.Sprintf("pgrdfvet:ignore names unknown analyzer %q", name),
+						})
+						continue
 					}
+					d.analyzers = append(d.analyzers, name)
+				}
+				if len(d.analyzers) == 0 {
+					continue
+				}
+				idx.list = append(idx.list, d)
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					k := ignoreKey{file: pos.Filename, line: line}
+					idx.byLine[k] = append(idx.byLine[k], d)
 				}
 			}
 		}
@@ -128,9 +167,52 @@ func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) (ignoreIndex, []Fi
 	return idx, bad
 }
 
-func (idx ignoreIndex) suppressed(analyzer string, pos token.Position) bool {
-	set := idx[ignoreKey{file: pos.Filename, line: pos.Line}]
-	return set[analyzer] || set["all"]
+// suppressed reports whether a finding at pos is masked, marking the
+// matching directive as used.
+func (idx *ignoreIndex) suppressed(analyzer string, pos token.Position) bool {
+	hit := false
+	for _, d := range idx.byLine[ignoreKey{file: pos.Filename, line: pos.Line}] {
+		for _, name := range d.analyzers {
+			if name == analyzer || name == "all" {
+				d.used[analyzer] = true
+				hit = true
+			}
+		}
+	}
+	return hit
+}
+
+// unusedFindings reports directives that suppressed nothing during a
+// run. Only analyzers that actually ran are considered, so a partial
+// -only invocation never flags a directive for an analyzer it skipped;
+// an "all" directive is checked only when the full suite ran.
+func (idx *ignoreIndex) unusedFindings(active map[string]bool) []Finding {
+	fullSuite := true
+	for name := range knownAnalyzerNames() {
+		if name != "all" && !active[name] {
+			fullSuite = false
+			break
+		}
+	}
+	var out []Finding
+	for _, d := range idx.list {
+		for _, name := range d.analyzers {
+			stale := false
+			if name == "all" {
+				stale = fullSuite && len(d.used) == 0
+			} else {
+				stale = active[name] && !d.used[name]
+			}
+			if stale {
+				out = append(out, Finding{
+					Analyzer: "pgrdfvet",
+					Pos:      d.pos,
+					Message:  fmt.Sprintf("unused pgrdfvet:ignore for %s: no finding on this or the next line; delete the stale suppression", name),
+				})
+			}
+		}
+	}
+	return out
 }
 
 // RunAnalyzers applies each analyzer to each package and returns the
@@ -138,6 +220,10 @@ func (idx ignoreIndex) suppressed(analyzer string, pos token.Position) bool {
 // packages were parsed with.
 func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 	var findings []Finding
+	active := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		active[a.Name] = true
+	}
 	for _, pkg := range pkgs {
 		idx, bad := buildIgnoreIndex(fset, pkg.Files)
 		findings = append(findings, bad...)
@@ -161,6 +247,7 @@ func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) (
 				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
 			}
 		}
+		findings = append(findings, idx.unusedFindings(active)...)
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i].Pos, findings[j].Pos

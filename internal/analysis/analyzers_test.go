@@ -6,12 +6,24 @@ import "testing"
 // failing patterns (annotated with // want), fixed counterparts, and a
 // justified suppression.
 
+func TestAtomiconly(t *testing.T) {
+	RunTest(t, Atomiconly, "testdata/src/atomiconly", "repro/internal/atomiconlytest")
+}
+
 func TestCtxflow(t *testing.T) {
 	RunTest(t, Ctxflow, "testdata/src/ctxflow", "repro/internal/ctxflowtest")
 }
 
 func TestErrsentinel(t *testing.T) {
 	RunTest(t, Errsentinel, "testdata/src/errsentinel", "repro/internal/errsentineltest")
+}
+
+func TestGoroutinelife(t *testing.T) {
+	RunTest(t, Goroutinelife, "testdata/src/goroutinelife", "repro/internal/goroutinelifetest")
+}
+
+func TestGuardedby(t *testing.T) {
+	RunTest(t, Guardedby, "testdata/src/guardedby", "repro/internal/guardedbytest")
 }
 
 func TestGuardtick(t *testing.T) {
@@ -47,7 +59,12 @@ func TestExamplesExemptFromCtxflow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(findings) != 0 {
-		t.Fatalf("examples/ package should be exempt from ctxflow, got %v", findings)
+	for _, f := range findings {
+		// The package's ctxflow suppression is reported as unused here
+		// (correct: ctxflow skips examples/ entirely); only analyzer
+		// findings would break the exemption.
+		if f.Analyzer == "ctxflow" {
+			t.Fatalf("examples/ package should be exempt from ctxflow, got %v", f)
+		}
 	}
 }

@@ -1,0 +1,302 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Atomiconly enforces two atomics-consistency rules across a package:
+//
+//  1. A field whose address is ever passed to a sync/atomic function
+//     (atomic.AddInt64(&s.n, 1), atomic.LoadUint64(&s.v), ...) is an
+//     atomic field: every other access to it must also go through
+//     sync/atomic. A plain read or write of such a field races with
+//     the atomic accesses — the race detector only catches it when a
+//     test happens to interleave, this analyzer catches it always.
+//     (Typed atomics — atomic.Int64, atomic.Pointer[T] — already get
+//     this guarantee from the type system.)
+//
+//  2. A value whose type transitively contains sync or sync/atomic
+//     state (Mutex, RWMutex, WaitGroup, Once, atomic.Int64, ...) must
+//     never be copied: copying a mutex forks the lock, copying an
+//     atomic forks the counter. go vet's copylocks covers the sync
+//     types; this rule extends the same check to sync/atomic typed
+//     values, flagging value receivers, by-value parameters and
+//     results, assignments, range copies, and by-value call arguments.
+//     Composite literals are allowed — building a zero-valued struct
+//     is initialization, not a copy.
+var Atomiconly = &Analyzer{
+	Name: "atomiconly",
+	Doc:  "fields accessed via sync/atomic must never be accessed plainly; values containing atomics or locks must not be copied",
+	Run:  runAtomiconly,
+}
+
+func runAtomiconly(pass *Pass) error {
+	atomicFields := collectAtomicFields(pass)
+	for _, file := range pass.Files {
+		parents := buildParents(file)
+		checkPlainAccesses(pass, file, atomicFields, parents)
+		checkCopies(pass, file)
+	}
+	return nil
+}
+
+// collectAtomicFields finds every struct field whose address flows into
+// a sync/atomic call anywhere in the package.
+func collectAtomicFields(pass *Pass) map[*types.Var]bool {
+	fields := make(map[*types.Var]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, a := range call.Args {
+				u, ok := ast.Unparen(a).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if v, ok := pass.Info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+					fields[v] = true
+				}
+			}
+			return true
+		})
+	}
+	return fields
+}
+
+// buildParents maps every node to its parent so an access can be
+// classified by its enclosing context.
+func buildParents(file *ast.File) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// checkPlainAccesses flags selectors of atomic fields that are not
+// themselves inside an &field argument to a sync/atomic call.
+func checkPlainAccesses(pass *Pass, file *ast.File, fields map[*types.Var]bool, parents map[ast.Node]ast.Node) {
+	if len(fields) == 0 {
+		return
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		v, ok := pass.Info.Uses[sel.Sel].(*types.Var)
+		if !ok || !fields[v] {
+			return true
+		}
+		if isAtomicContext(pass, sel, parents) {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"field %s is accessed atomically elsewhere (sync/atomic); this plain access races with it — use the matching atomic op",
+			sel.Sel.Name)
+		return true
+	})
+}
+
+// isAtomicContext reports whether sel appears as &sel passed directly
+// to a sync/atomic function.
+func isAtomicContext(pass *Pass, sel *ast.SelectorExpr, parents map[ast.Node]ast.Node) bool {
+	p := parents[sel]
+	for {
+		pe, ok := p.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		p = parents[pe]
+	}
+	u, ok := p.(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return false
+	}
+	p = parents[u]
+	for {
+		pe, ok := p.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		p = parents[pe]
+	}
+	call, ok := p.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(pass.Info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// --- copy checks -----------------------------------------------------
+
+// containsSyncState reports whether t transitively contains a named
+// type from sync or sync/atomic (interfaces like sync.Locker excluded:
+// an interface value holds a pointer).
+func containsSyncState(t types.Type) bool {
+	return containsSyncState1(t, make(map[types.Type]bool))
+}
+
+func containsSyncState1(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch t := t.(type) {
+	case *types.Named:
+		if pkg := t.Obj().Pkg(); pkg != nil {
+			if path := pkg.Path(); path == "sync" || path == "sync/atomic" {
+				_, isIface := t.Underlying().(*types.Interface)
+				return !isIface
+			}
+		}
+		return containsSyncState1(t.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if containsSyncState1(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsSyncState1(t.Elem(), seen)
+	}
+	return false
+}
+
+func syncCopyName(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+func checkCopies(pass *Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Recv != nil && len(n.Recv.List) > 0 {
+				if t := fieldValueType(pass, n.Recv.List[0]); t != nil {
+					pass.Reportf(n.Pos(),
+						"method %s uses a value receiver of type %s, which contains sync/atomic state; use a pointer receiver",
+						n.Name.Name, syncCopyName(t))
+				}
+			}
+			checkSignature(pass, n.Type)
+		case *ast.FuncLit:
+			checkSignature(pass, n.Type)
+		case *ast.AssignStmt:
+			for _, r := range n.Rhs {
+				checkCopyExpr(pass, r)
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				if t := pass.Info.TypeOf(n.Value); t != nil && containsSyncState(t) {
+					pass.Reportf(n.Value.Pos(),
+						"range copies %s by value, which contains sync/atomic state; range over indices or pointers",
+						syncCopyName(t))
+				}
+			}
+		case *ast.CallExpr:
+			// len/cap inspect without copying; new/make take a type,
+			// not a value.
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+					switch b.Name() {
+					case "len", "cap", "new", "make":
+						return true
+					}
+				}
+			}
+			fn := calleeFunc(pass.Info, n)
+			// Calls into sync/atomic take addresses; anything else
+			// receiving a lock-bearing value by value forks it.
+			if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" {
+				return true
+			}
+			for _, a := range n.Args {
+				checkCopyExpr(pass, a)
+			}
+		}
+		return true
+	})
+}
+
+// checkSignature flags by-value parameters and results whose types
+// contain sync/atomic state.
+func checkSignature(pass *Pass, ft *ast.FuncType) {
+	flag := func(list *ast.FieldList, kind string) {
+		if list == nil {
+			return
+		}
+		for _, f := range list.List {
+			if t := fieldValueType(pass, f); t != nil {
+				pass.Reportf(f.Pos(),
+					"%s passes %s by value, which contains sync/atomic state; pass a pointer",
+					kind, syncCopyName(t))
+			}
+		}
+	}
+	flag(ft.Params, "parameter")
+	flag(ft.Results, "result")
+}
+
+// fieldValueType returns the field's type when it is a non-pointer type
+// containing sync state, nil otherwise.
+func fieldValueType(pass *Pass, f *ast.Field) types.Type {
+	t := pass.Info.TypeOf(f.Type)
+	if t == nil {
+		return nil
+	}
+	if _, isPtr := t.(*types.Pointer); isPtr {
+		return nil
+	}
+	if !containsSyncState(t) {
+		return nil
+	}
+	return t
+}
+
+// checkCopyExpr flags an expression whose evaluation copies a
+// lock-bearing value: any non-composite-literal expression of such a
+// type. Composite literals (and their addresses) construct rather than
+// copy; pointers and calls to sync/atomic are fine.
+func checkCopyExpr(pass *Pass, e ast.Expr) {
+	inner := ast.Unparen(e)
+	switch inner.(type) {
+	case *ast.CompositeLit:
+		return
+	case *ast.UnaryExpr:
+		return // &x yields a pointer
+	case *ast.CallExpr:
+		return // the callee's signature is checked at its declaration
+	}
+	if tv, ok := pass.Info.Types[inner]; ok && tv.IsType() {
+		return // a type expression (new(T), conversions), not a value
+	}
+	t := pass.Info.TypeOf(inner)
+	if t == nil || !containsSyncState(t) {
+		return
+	}
+	pass.Reportf(e.Pos(),
+		"expression copies %s by value, which contains sync/atomic state; use a pointer",
+		syncCopyName(t))
+}

@@ -8,7 +8,7 @@ import (
 	"testing"
 )
 
-func buildFromSrc(t *testing.T, src string) (*token.FileSet, ignoreIndex, []Finding) {
+func buildFromSrc(t *testing.T, src string) (*token.FileSet, *ignoreIndex, []Finding) {
 	t.Helper()
 	fset := token.NewFileSet()
 	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
@@ -74,4 +74,100 @@ var a = 1
 	if len(bad) != 1 || !strings.Contains(bad[0].Message, "malformed pgrdfvet directive") {
 		t.Fatalf("malformed directive not reported, got %v", bad)
 	}
+}
+
+func TestUnknownAnalyzerNameIsReported(t *testing.T) {
+	_, idx, bad := buildFromSrc(t, `package p
+
+//pgrdfvet:ignore walwarn -- typo for walerr
+var a = 1
+`)
+	if len(bad) != 1 || !strings.Contains(bad[0].Message, `unknown analyzer "walwarn"`) {
+		t.Fatalf("unknown analyzer name not reported, got %v", bad)
+	}
+	if idx.suppressed("walerr", token.Position{Filename: "x.go", Line: 4}) {
+		t.Error("a misspelled directive must not suppress anything")
+	}
+}
+
+func TestUnusedSuppressionDetection(t *testing.T) {
+	activeAll := make(map[string]bool)
+	for name := range knownAnalyzerNames() {
+		activeAll[name] = true
+	}
+
+	t.Run("stale directive is reported", func(t *testing.T) {
+		_, idx, bad := buildFromSrc(t, `package p
+
+//pgrdfvet:ignore idsafe -- the finding this masked was fixed long ago
+var a = 1
+`)
+		if len(bad) != 0 {
+			t.Fatalf("unexpected parse findings: %v", bad)
+		}
+		unused := idx.unusedFindings(activeAll)
+		if len(unused) != 1 || !strings.Contains(unused[0].Message, "unused pgrdfvet:ignore for idsafe") {
+			t.Fatalf("stale suppression not reported, got %v", unused)
+		}
+		if unused[0].Pos.Line != 3 {
+			t.Errorf("unused finding at line %d, want the directive's line 3", unused[0].Pos.Line)
+		}
+	})
+
+	t.Run("consumed directive is not reported", func(t *testing.T) {
+		_, idx, _ := buildFromSrc(t, `package p
+
+//pgrdfvet:ignore idsafe -- live suppression
+var a = 1
+`)
+		if !idx.suppressed("idsafe", token.Position{Filename: "x.go", Line: 4}) {
+			t.Fatal("directive did not suppress")
+		}
+		if unused := idx.unusedFindings(activeAll); len(unused) != 0 {
+			t.Fatalf("consumed directive reported as unused: %v", unused)
+		}
+	})
+
+	t.Run("inactive analyzer is not flagged", func(t *testing.T) {
+		// A partial -only run must not call suppressions for the
+		// analyzers it skipped stale.
+		_, idx, _ := buildFromSrc(t, `package p
+
+//pgrdfvet:ignore idsafe -- only meaningful when idsafe runs
+var a = 1
+`)
+		if unused := idx.unusedFindings(map[string]bool{"walerr": true}); len(unused) != 0 {
+			t.Fatalf("directive for inactive analyzer reported as unused: %v", unused)
+		}
+	})
+
+	t.Run("all-directive checked only under the full suite", func(t *testing.T) {
+		_, idx, _ := buildFromSrc(t, `package p
+
+//pgrdfvet:ignore all -- blanket suppression that masks nothing
+var a = 1
+`)
+		if unused := idx.unusedFindings(map[string]bool{"walerr": true}); len(unused) != 0 {
+			t.Fatalf("all-directive flagged on a partial run: %v", unused)
+		}
+		unused := idx.unusedFindings(activeAll)
+		if len(unused) != 1 || !strings.Contains(unused[0].Message, "unused pgrdfvet:ignore for all") {
+			t.Fatalf("stale all-directive not reported under the full suite, got %v", unused)
+		}
+	})
+
+	t.Run("one name of a multi-analyzer directive can be stale", func(t *testing.T) {
+		_, idx, _ := buildFromSrc(t, `package p
+
+//pgrdfvet:ignore idsafe, walerr -- only idsafe still fires here
+var a = 1
+`)
+		if !idx.suppressed("idsafe", token.Position{Filename: "x.go", Line: 4}) {
+			t.Fatal("directive did not suppress idsafe")
+		}
+		unused := idx.unusedFindings(activeAll)
+		if len(unused) != 1 || !strings.Contains(unused[0].Message, "unused pgrdfvet:ignore for walerr") {
+			t.Fatalf("stale half of a multi-analyzer directive not reported, got %v", unused)
+		}
+	})
 }

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The loader is exercised on well-formed packages by every analyzer
+// test; these tests pin its error paths — the answers pgrdfvet gives
+// when pointed at broken, missing, or unresolvable code must be
+// diagnoses, not panics or silent successes.
+
+func TestCheckDirMissingDirectory(t *testing.T) {
+	l := NewLoader(t.TempDir())
+	_, err := l.CheckDir(filepath.Join(t.TempDir(), "no-such-dir"), "repro/internal/missing")
+	if err == nil {
+		t.Fatal("CheckDir on a missing directory succeeded")
+	}
+	if !os.IsNotExist(err) {
+		t.Errorf("want an os.IsNotExist error, got %v", err)
+	}
+}
+
+func TestCheckDirNoGoFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "README.md"), []byte("not go"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader(dir)
+	_, err := l.CheckDir(dir, "repro/internal/empty")
+	if err == nil || !strings.Contains(err.Error(), "no .go files") {
+		t.Fatalf("want a 'no .go files' error, got %v", err)
+	}
+}
+
+func TestCheckDirParseError(t *testing.T) {
+	dir := t.TempDir()
+	src := "package broken\n\nfunc oops( {\n"
+	if err := os.WriteFile(filepath.Join(dir, "broken.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader(dir)
+	_, err := l.CheckDir(dir, "repro/internal/broken")
+	if err == nil || !strings.Contains(err.Error(), "parsing") {
+		t.Fatalf("want a parse error naming the file, got %v", err)
+	}
+}
+
+func TestCheckDirTypeError(t *testing.T) {
+	dir := t.TempDir()
+	src := `package broken
+
+func typeError() int {
+	var s string = 42
+	return s
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "broken.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader(dir)
+	_, err := l.CheckDir(dir, "repro/internal/broken")
+	if err == nil || !strings.Contains(err.Error(), "type-checking repro/internal/broken") {
+		t.Fatalf("want a type-checking error for the package, got %v", err)
+	}
+}
+
+func TestCheckDirUnresolvableImport(t *testing.T) {
+	// A fresh loader has indexed no export data, so any import —
+	// including one that would resolve under `go list` against a
+	// vendored or module dependency — must fail with the "no export
+	// data" diagnosis rather than a nil-importer panic.
+	dir := t.TempDir()
+	src := `package uses
+
+import "repro/internal/store"
+
+var _ = store.New
+`
+	if err := os.WriteFile(filepath.Join(dir, "uses.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader(dir)
+	_, err := l.CheckDir(dir, "repro/internal/uses")
+	if err == nil || !strings.Contains(err.Error(), `no export data for "repro/internal/store"`) {
+		t.Fatalf("want a 'no export data' error, got %v", err)
+	}
+}
+
+func TestLoadBadPattern(t *testing.T) {
+	l := NewLoader(t.TempDir())
+	_, err := l.Load("./does/not/exist/...")
+	if err == nil || !strings.Contains(err.Error(), "go list") {
+		t.Fatalf("want a go list error, got %v", err)
+	}
+}
+
+func TestLoadPackageWithTypeErrors(t *testing.T) {
+	// go list succeeds on a syntactically valid module whose code does
+	// not type-check; the failure must surface from the loader's own
+	// check step (or go list's Error field), never as a half-loaded
+	// package.
+	dir := t.TempDir()
+	writeFile := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile("go.mod", "module brokenmod\n\ngo 1.22\n")
+	writeFile("main.go", `package main
+
+func main() {
+	var s string = 42
+	_ = s
+}
+`)
+	l := NewLoader(dir)
+	_, err := l.Load("./...")
+	if err == nil {
+		t.Fatal("Load on a package with type errors succeeded")
+	}
+	if !strings.Contains(err.Error(), "type-checking") && !strings.Contains(err.Error(), "go list") {
+		t.Errorf("error does not diagnose the type failure: %v", err)
+	}
+}

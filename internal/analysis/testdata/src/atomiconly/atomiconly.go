@@ -1,0 +1,84 @@
+// Package atomiconlytest exercises the atomiconly analyzer: fields
+// touched via sync/atomic must never be accessed plainly, and values
+// containing atomics or locks must not be copied.
+package atomiconlytest
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// --- mixed plain/atomic access ---------------------------------------
+
+type hits struct {
+	n int64
+	// ok is never touched atomically, so plain access stays legal.
+	ok int64
+}
+
+func bump(h *hits) { atomic.AddInt64(&h.n, 1) }
+
+func badRead(h *hits) int64 {
+	return h.n // want "field n is accessed atomically elsewhere"
+}
+
+func badWrite(h *hits) {
+	h.n = 0 // want "field n is accessed atomically elsewhere"
+}
+
+func goodRead(h *hits) int64 { return atomic.LoadInt64(&h.n) }
+
+func goodStore(h *hits) { atomic.StoreInt64(&h.n, 0) }
+
+func plainFieldStaysPlain(h *hits) int64 {
+	h.ok++
+	return h.ok
+}
+
+// --- copying values that contain sync/atomic state -------------------
+
+type gauge struct {
+	v atomic.Int64
+}
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func use(interface{}) {}
+
+func (g gauge) badValueReceiver() int64 { // want "method badValueReceiver uses a value receiver"
+	return g.v.Load()
+}
+
+func badParam(g guarded) {} // want "parameter passes .* by value"
+
+func badResult() (g guarded) { return } // want "result passes .* by value"
+
+func badDerefCopy(g *gauge) {
+	x := *g // want "copies .* by value"
+	use(&x)
+}
+
+func badArgCopy(g *guarded) {
+	use(*g) // want "copies .* by value"
+}
+
+func goodConstruct() *gauge {
+	g := gauge{} // composite literal constructs, it does not copy
+	return &g
+}
+
+func goodPointerFlow(g *gauge) *gauge {
+	p := g
+	return p
+}
+
+// --- justified suppression -------------------------------------------
+
+func suppressedCopy(g *gauge) {
+	//pgrdfvet:ignore atomiconly -- snapshotting a quiesced gauge in a single-threaded teardown path
+	x := *g
+	use(&x)
+}

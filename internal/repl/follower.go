@@ -116,10 +116,13 @@ type Follower struct {
 
 	st atomic.Pointer[store.Store]
 
-	mu            sync.Mutex
-	pos           followPos
+	mu sync.Mutex
+	//pgrdf:guardedby mu
+	pos followPos
+	//pgrdf:guardedby mu
 	needBootstrap bool
-	zeroProgress  int
+	//pgrdf:guardedby mu
+	zeroProgress int
 
 	ready     chan struct{}
 	readyOnce sync.Once

@@ -81,8 +81,10 @@ type Engine struct {
 	// the executor), so they are safe to share across goroutines.
 	// planInflight deduplicates concurrent misses for the same text:
 	// one goroutine compiles, the rest wait on the call's done channel.
-	planMu       sync.RWMutex
-	planCache    map[string]*compiled
+	planMu sync.RWMutex
+	//pgrdf:guardedby planMu
+	planCache map[string]*compiled
+	//pgrdf:guardedby planMu
 	planInflight map[string]*compileCall
 
 	planHits      atomic.Int64

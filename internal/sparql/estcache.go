@@ -18,9 +18,11 @@ const estCacheLimit = 4096
 // a write discards the stale generation and plans re-order to the new
 // selectivities (the bulk-insert regression in update_test.go).
 type estCache struct {
-	mu      sync.Mutex
+	mu sync.Mutex
+	//pgrdf:guardedby mu
 	version uint64
-	m       map[store.Pattern]int
+	//pgrdf:guardedby mu
+	m map[store.Pattern]int
 }
 
 // estimate returns st.EstimateCount(p), cached within one store

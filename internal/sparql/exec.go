@@ -385,15 +385,26 @@ const defaultHashJoinMinInput = 1024
 // against the same snapshot order — the two access paths emit rows in
 // the same order for the store's index geometry, so the switch point is
 // invisible in the output (DESIGN.md §10).
+// hashState's guarded fields are written only under mu inside
+// buildHash; after built flips to true they are immutable and probe
+// paths read them lock-free behind the built.Load() publication
+// barrier (those reads carry justified suppressions).
 type hashState struct {
-	mu       sync.Mutex
-	built    atomic.Bool
-	keySlots []int // var slots in the outer binding forming the join key
-	keyPos   []int // 0=S,1=P,2=O,3=G
-	table    map[[4]store.ID][]store.IDQuad
+	mu    sync.Mutex
+	built atomic.Bool
+	// var slots in the outer binding forming the join key
+	//pgrdf:guardedby mu
+	keySlots []int
+	// 0=S,1=P,2=O,3=G
+	//pgrdf:guardedby mu
+	keyPos []int
+	//pgrdf:guardedby mu
+	table map[[4]store.ID][]store.IDQuad
 }
 
 // keyOf projects a quad onto the join key chosen at build time.
+//
+//pgrdf:locks mu
 func (hs *hashState) keyOf(q store.IDQuad) [4]store.ID {
 	var key [4]store.ID
 	vals := [4]store.ID{q.S, q.P, q.C, q.G}
@@ -485,6 +496,7 @@ func (w *bgpWalker) step(depth int, b binding) bool {
 	if hs.built.Load() {
 		var key [4]store.ID
 		usable := true
+		//pgrdfvet:ignore guardedby -- keySlots is frozen before built.Store(true); built.Load() above is the publication barrier
 		for i, slot := range hs.keySlots {
 			if b[slot] == store.NoID {
 				usable = false // heterogeneous boundness: NLJ fallback
@@ -494,6 +506,7 @@ func (w *bgpWalker) step(depth int, b binding) bool {
 		}
 		if usable {
 			var probes int64 // flushed in one atomic per probe loop
+			//pgrdfvet:ignore guardedby -- table is immutable after built.Store(true); built.Load() above is the publication barrier
 			for _, q := range hs.table[key] {
 				if !rp.bindQuad(b, q, &w.undos[depth]) {
 					continue

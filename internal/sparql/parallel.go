@@ -324,6 +324,8 @@ func (sh *bgpShared) processMorsel(wk *bgpWalker, base binding, rp *resolvedPatt
 // bucket's row order equals the serially built bucket's. Budget ticks
 // are batched through guard.tickN. Reports false when no worker slots
 // were free (the caller then builds serially). Called with hs.mu held.
+//
+//pgrdf:locks hs.mu
 func (ec *execCtx) parallelHashBuild(rp *resolvedPattern, hs *hashState, pst *profStage) bool {
 	workers := ec.acquireWorkers(ec.parallelism)
 	if workers < 2 {
@@ -375,6 +377,7 @@ func (ec *execCtx) parallelHashBuild(rp *resolvedPattern, hs *hashState, pst *pr
 				if !rp.matchesGraphCtx(q) {
 					continue
 				}
+				//pgrdfvet:ignore guardedby -- keyPos is frozen by buildHash (which holds hs.mu) before workers start
 				key := hs.keyOf(q)
 				m[key] = append(m[key], q)
 			}

@@ -36,10 +36,14 @@ const Any ID = ^ID(0)
 // Dict is the values table: a bijection between RDF terms and dense
 // numeric IDs starting at 1. It is safe for concurrent use.
 type Dict struct {
-	mu     sync.RWMutex
-	byKey  map[string]ID
-	terms  []rdf.Term
-	lexLen int64 // total lexical bytes, for storage accounting
+	mu sync.RWMutex
+	//pgrdf:guardedby mu
+	byKey map[string]ID
+	//pgrdf:guardedby mu
+	terms []rdf.Term
+	// total lexical bytes, for storage accounting
+	//pgrdf:guardedby mu
+	lexLen int64
 }
 
 // NewDict returns an empty dictionary.

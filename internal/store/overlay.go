@@ -30,9 +30,11 @@ const scratchBase ID = 1 << 62
 // The overlay is safe for concurrent use: one query's parallel workers
 // may resolve scratch IDs while the driver interns new ones.
 type TermOverlay struct {
-	dict  *Dict
-	mu    sync.RWMutex
+	dict *Dict
+	mu   sync.RWMutex
+	//pgrdf:guardedby mu
 	byKey map[string]ID
+	//pgrdf:guardedby mu
 	terms []rdf.Term
 }
 

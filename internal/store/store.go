@@ -25,19 +25,35 @@ const compactThreshold = 8192
 type Store struct {
 	mu sync.RWMutex
 
+	// dict is set once at construction and internally synchronized; it
+	// is deliberately NOT guarded by mu (read paths resolve terms
+	// without the store lock).
 	dict *Dict
 
-	modelIDs   map[string]ModelID
+	//pgrdf:guardedby mu
+	modelIDs map[string]ModelID
+	//pgrdf:guardedby mu
 	modelNames []string
 
+	//pgrdf:guardedby mu
 	virtual map[string][]ModelID
 
-	indexes []*Index // all indexes hold the same row set
+	// all indexes hold the same row set
+	//pgrdf:guardedby mu
+	indexes []*Index
 
-	delta    []IDQuad            // inserted but not yet merged
-	deltaSet map[IDQuad]struct{} // membership for delta
-	dead     map[IDQuad]struct{} // tombstones for base rows
-	count    int                 // live quads = base + delta - dead
+	// inserted but not yet merged
+	//pgrdf:guardedby mu
+	delta []IDQuad
+	// membership for delta
+	//pgrdf:guardedby mu
+	deltaSet map[IDQuad]struct{}
+	// tombstones for base rows
+	//pgrdf:guardedby mu
+	dead map[IDQuad]struct{}
+	// live quads = base + delta - dead
+	//pgrdf:guardedby mu
+	count int
 
 	// par is the worker budget for bulk operations (Load, Compact,
 	// CreateIndex): all configured indexes are built concurrently and
@@ -118,6 +134,8 @@ func (s *Store) Parallelism() int {
 // index's batch sort gets an equal share of the remaining budget —
 // bulk load builds all semantic-network indexes at once instead of one
 // after another. Must be called with mu held.
+//
+//pgrdf:locks mu
 func (s *Store) insertAllLocked(batch []IDQuad) {
 	if len(batch) == 0 {
 		return
@@ -146,6 +164,8 @@ func (s *Store) insertAllLocked(batch []IDQuad) {
 
 // removeAllLocked applies tombstones to every index, concurrently when
 // the worker budget allows. Must be called with mu held.
+//
+//pgrdf:locks mu
 func (s *Store) removeAllLocked(del map[IDQuad]struct{}) {
 	if len(del) == 0 {
 		return
@@ -175,6 +195,7 @@ func (s *Store) CreateIndex(spec string) error {
 	return s.createIndexLocked(spec)
 }
 
+//pgrdf:locks mu
 func (s *Store) createIndexLocked(spec string) error {
 	perm, err := ParsePermutation(spec)
 	if err != nil {
@@ -236,6 +257,7 @@ func (s *Store) Model(name string) ModelID {
 	return s.modelLocked(name)
 }
 
+//pgrdf:locks mu
 func (s *Store) modelLocked(name string) ModelID {
 	if id, ok := s.modelIDs[name]; ok {
 		return id
@@ -475,6 +497,7 @@ func (s *Store) Compact() {
 	s.compactLocked()
 }
 
+//pgrdf:locks mu
 func (s *Store) compactLocked() {
 	if len(s.dead) > 0 {
 		s.removeAllLocked(s.dead)
@@ -519,6 +542,7 @@ func (s *Store) ChooseIndex(p Pattern) *Index {
 	return s.chooseIndexLocked(p)
 }
 
+//pgrdf:locks mu
 func (s *Store) chooseIndexLocked(p Pattern) *Index {
 	best := s.indexes[0]
 	bestPrefix := best.prefixLen(p)
@@ -577,6 +601,7 @@ func (s *Store) Scan(p Pattern, fn func(IDQuad) bool) {
 	s.scanLocked(p, fn)
 }
 
+//pgrdf:locks mu
 func (s *Store) scanLocked(p Pattern, fn func(IDQuad) bool) {
 	fn = s.faultWrap(fn)
 	ix := s.chooseIndexLocked(p)

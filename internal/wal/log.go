@@ -40,10 +40,15 @@ type Log struct {
 	// log truncation; epochStartSeq is the sequence number of the
 	// first record of the current epoch; wake is closed (and replaced
 	// lazily) whenever the log grows or truncates.
-	replID        string
-	epoch         uint64
+
+	//pgrdf:guardedby mu
+	replID string
+	//pgrdf:guardedby mu
+	epoch uint64
+	//pgrdf:guardedby mu
 	epochStartSeq uint64
-	wake          chan struct{}
+	//pgrdf:guardedby mu
+	wake chan struct{}
 
 	checkpoints      atomic.Int64
 	checkpointErrors atomic.Int64
@@ -233,6 +238,7 @@ func (l *Log) Checkpoint(st *store.Store) error {
 	return nil
 }
 
+//pgrdf:locks mu
 func (l *Log) checkpointLocked(st *store.Store) (int64, error) {
 	tmpPath := filepath.Join(l.dir, checkpointTmp)
 	f, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)

@@ -137,6 +137,8 @@ func writeReplMeta(dir string, m replMeta) error {
 }
 
 // positionLocked builds the current position; the caller holds l.mu.
+//
+//pgrdf:locks mu
 func (l *Log) positionLocked() Position {
 	return Position{
 		ID:            l.replID,
@@ -208,6 +210,8 @@ func (l *Log) WakeChan() <-chan struct{} {
 }
 
 // wakeLocked releases every WakeChan waiter; the caller holds l.mu.
+//
+//pgrdf:locks mu
 func (l *Log) wakeLocked() {
 	if l.wake != nil {
 		close(l.wake)

@@ -71,15 +71,24 @@ func (f *FaultInjector) cut(n int) (allowed int, crash bool) {
 // sticky: the file may hold a torn record, so continuing to append
 // would bury corruption mid-log where recovery treats it as the end.
 type Writer struct {
-	mu      sync.Mutex
-	f       *os.File
-	policy  SyncPolicy
-	off     int64 // end offset of the last fully framed record
+	mu     sync.Mutex
+	f      *os.File
+	policy SyncPolicy
+	// end offset of the last fully framed record
+	//pgrdf:guardedby mu
+	off int64
+	//pgrdf:guardedby mu
 	records int64
-	seq     uint64 // next sequence number
-	dirty   bool   // bytes written since the last fsync
-	broken  error  // sticky failure
-	fault   atomic.Pointer[FaultInjector]
+	// next sequence number
+	//pgrdf:guardedby mu
+	seq uint64
+	// bytes written since the last fsync
+	//pgrdf:guardedby mu
+	dirty bool
+	// sticky failure (the fsync-failure latch)
+	//pgrdf:guardedby mu
+	broken error
+	fault  atomic.Pointer[FaultInjector]
 }
 
 // newWriter wraps an open log file positioned at off.
@@ -147,6 +156,7 @@ func (w *Writer) Sync() error {
 	return w.syncLocked()
 }
 
+//pgrdf:locks mu
 func (w *Writer) syncLocked() error {
 	if !w.dirty {
 		return nil
