@@ -14,7 +14,7 @@ BENCH_SCALE ?= 0.05
 BENCH_MAX_OVERHEAD ?= 5
 OVERHEAD_ITERS ?= 5
 
-.PHONY: check vet lint lint-json build test race crash-recovery repl-fault bench bench-smoke fuzz-smoke
+.PHONY: check vet lint lint-json build test race crash-recovery repl-fault bench bench-micro bench-smoke fuzz-smoke
 
 ## check: the full gate — vet, build, the pgrdfvet analyzers, the
 ## race-enabled test suite, the crash-recovery differential, and the
@@ -70,6 +70,13 @@ bench:
 ## when the aggregate overhead exceeds BENCH_MAX_OVERHEAD percent.
 bench-overhead:
 	$(GO) run ./cmd/benchpaper -profileoverhead -maxoverhead $(BENCH_MAX_OVERHEAD) -iters $(OVERHEAD_ITERS) -scale $(BENCH_SCALE) -out BENCH_profile_overhead.json
+
+## bench-micro: row-vs-batch executor kernel microbenchmarks (scan,
+## hash probe, nested loop, filter) plus the store-level batched scan
+## benchmarks. Compare the row/ and batch/ sub-benchmark pairs.
+bench-micro:
+	$(GO) test -bench 'Kernel' -run '^$$' -benchtime 20x ./internal/sparql/
+	$(GO) test -bench 'BenchmarkScan' -run '^$$' ./internal/store/
 
 ## bench-smoke: one-iteration bench at reduced scale (the CI gate).
 ## The overhead differential keeps best-of-$(OVERHEAD_ITERS) even here:

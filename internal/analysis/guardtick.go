@@ -14,13 +14,17 @@ import (
 // no cancellation point and MaxBindings stops counting them.
 //
 // Rule, scoped to repro/internal/sparql: any call to a raw store row
-// source — (*store.Store).Scan / ScanIndex / Cursor or
-// (*store.Index).Scan / ScanRange — must sit in a top-level function
-// that also ticks the guard (a call to guard.tick, guard.tickN,
-// guard.poll, or guard.checkRows somewhere in the same function,
-// typically inside the scan callback or the worker loop draining a
-// cursor). Routing through (*execCtx).scan satisfies this by
-// construction and is the preferred fix.
+// source — (*store.Store).Scan / ScanBatch / ScanIndex / Cursor,
+// (*store.Index).Scan / ScanRange / ScanRangeBatch, or
+// (*store.Cursor).NextBatch — must sit in a top-level function that
+// also ticks the guard (a call to guard.tick, guard.tickN, guard.poll,
+// or guard.checkRows somewhere in the same function, typically inside
+// the scan callback or the worker loop draining a cursor). Routing
+// through (*execCtx).scan satisfies this by construction and is the
+// preferred fix. The batched sources pair naturally with tickN: the
+// vectorized executor accumulates a pending count over a batch's rows
+// and settles it with one tickN per emitted batch (DESIGN.md §15),
+// which is budget-equivalent to per-row ticking.
 var Guardtick = &Analyzer{
 	Name: "guardtick",
 	Doc:  "store scans inside internal/sparql must tick the query budget guard",
@@ -29,8 +33,9 @@ var Guardtick = &Analyzer{
 
 // rawScanMethods are the store row sources that bypass (*execCtx).scan.
 var rawScanMethods = map[string]map[string]bool{
-	"Store": {"Scan": true, "ScanIndex": true, "Cursor": true},
-	"Index": {"Scan": true, "ScanRange": true},
+	"Store":  {"Scan": true, "ScanBatch": true, "ScanIndex": true, "Cursor": true},
+	"Index":  {"Scan": true, "ScanRange": true, "ScanBatch": true, "ScanRangeBatch": true},
+	"Cursor": {"NextBatch": true},
 }
 
 // guardMethods are the calls that count as "the guard is consulted".

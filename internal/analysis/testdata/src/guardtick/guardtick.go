@@ -153,6 +153,72 @@ func goodRangeScan(g *guard, ix *store.Index, r store.RowRange, p store.Pattern)
 	return n
 }
 
+func badBatchScan(st *store.Store, p store.Pattern) int {
+	n := 0
+	st.ScanBatch(p, 1024, func(run []store.IDQuad) bool { // want "store scan without a budget-guard tick"
+		n += len(run)
+		return true
+	})
+	return n
+}
+
+func badRangeBatch(ix *store.Index, r store.RowRange, p store.Pattern) int {
+	n := 0
+	ix.ScanRangeBatch(r, p, nil, 1024, func(run []store.IDQuad) bool { // want "store scan without a budget-guard tick"
+		n += len(run)
+		return true
+	})
+	return n
+}
+
+func badNextBatch(c *store.Cursor) int {
+	n := 0
+	for {
+		run := c.NextBatch(1024) // want "store scan without a budget-guard tick"
+		if run == nil {
+			break
+		}
+		n += len(run)
+	}
+	return n
+}
+
+// goodBatchScan settles the budget with one tickN per batch — the
+// vectorized executor's per-batch amortization of per-row ticks.
+func goodBatchScan(g *guard, st *store.Store, p store.Pattern) int {
+	n := 0
+	st.ScanBatch(p, 1024, func(run []store.IDQuad) bool {
+		if !g.tickN(len(run)) {
+			return false
+		}
+		n += len(run)
+		return true
+	})
+	return n
+}
+
+// goodBatchCursor drains morsel batches, accumulating a pending count
+// settled by tickN at each flush.
+func goodBatchCursor(g *guard, c *store.Cursor) int {
+	n, pending := 0, 0
+	for {
+		run := c.NextBatch(1024)
+		if run == nil {
+			break
+		}
+		pending += len(run)
+		if pending >= 1024 {
+			if !g.tickN(pending) {
+				return n
+			}
+			pending = 0
+		}
+		n += len(run)
+	}
+	g.tickN(pending)
+	return n
+}
+
 func suppressed(st *store.Store, p store.Pattern) int {
 	// Plan-cardinality estimation runs outside query execution.
 	n := 0

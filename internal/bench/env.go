@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/pg"
@@ -48,6 +49,11 @@ type Env struct {
 	// StartNode is the IRI of the EQ11 start node, chosen with
 	// follows-out-degree close to the paper's 21.
 	StartNode string
+
+	// rf is the lazily loaded RF scheme (see RFEnv).
+	rf     *SchemeEnv
+	rfErr  error
+	rfOnce sync.Once
 }
 
 // Vocab is the vocabulary used by the harness: Twitter nodes use the
@@ -157,6 +163,18 @@ func (env *Env) pickStartNode() {
 
 // SchemeEnvs returns the NG and SP environments.
 func (env *Env) SchemeEnvs() []*SchemeEnv { return []*SchemeEnv{env.NG, env.SP} }
+
+// RFEnv lazily loads the RF (reification) scheme. RF is an ablation
+// scheme: it is deliberately not part of SchemeEnvs(), so the timing
+// benchmarks stay NG/SP-only, but the executor differentials cover it
+// because reified edges stress join shapes the other schemes do not
+// (4 triples per edge, shared anchor subjects).
+func (env *Env) RFEnv() (*SchemeEnv, error) {
+	env.rfOnce.Do(func() {
+		env.rf, env.rfErr = loadScheme(env.Graph, pgrdf.RF)
+	})
+	return env.rf, env.rfErr
+}
 
 // Queries returns the Table 10 queries rewritten for the generated
 // dataset (its tag and start node).

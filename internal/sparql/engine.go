@@ -24,6 +24,13 @@ type Engine struct {
 	// for normal use.
 	DisableHashJoin bool
 
+	// DisableVectorized forces the row-at-a-time pull pipeline for every
+	// operator, disabling batch-at-a-time BGP execution (DESIGN.md §15).
+	// It exists as the vectorization ablation baseline for benchmarks
+	// and the row/batch differential tests; leave it false for normal
+	// use. Set it once before serving queries; it is read concurrently.
+	DisableVectorized bool
+
 	// Limits is the per-query resource budget applied by the *Context
 	// execution methods. The zero value imposes no limits. Set it once
 	// before serving queries; it is read concurrently.
@@ -406,6 +413,18 @@ func (e *Engine) AskContext(ctx context.Context, model, query string) (found boo
 	if err != nil {
 		return false, err
 	}
+	// ASK only needs any one row, so result order is irrelevant: let
+	// the parallel batch executor skip the order-preserving merge.
+	ec.unordered = true
+	if bs := vectorTail(ec, pipeline, len(c.vt.names)); bs != nil {
+		if err := finishGuard(ec, bs(func(cb *colBatch) bool {
+			found = true
+			return false
+		})); err != nil {
+			return false, err
+		}
+		return found, nil
+	}
 	src := runPipeline(ec, pipeline, unitSource(len(c.vt.names)))
 	if err := finishGuard(ec, src(func(binding) bool {
 		found = true
@@ -709,6 +728,7 @@ func (e *Engine) execCtx(model string, vt *varTable) (*execCtx, error) {
 		estc:            &e.estc,
 		vt:              vt,
 		noHashJoin:      e.DisableHashJoin,
+		vectorized:      !e.DisableVectorized,
 		parallelism:     e.parallelism(),
 		hashMin:         e.hashJoinMin(),
 		pstats:          &e.pstats,

@@ -34,6 +34,19 @@ type execCtx struct {
 	pstats          *parallelStats
 	parallelFlagged *atomic.Bool // set once when the query goes parallel
 
+	// vectorized enables batch-at-a-time BGP execution (DESIGN.md §15).
+	// Off, every operator runs the row-at-a-time pull pipeline — the
+	// pre-vectorization executor, kept as the ablation baseline and the
+	// fallback for operators that are not batch-aware.
+	vectorized bool
+
+	// unordered is set by evalSelect when the plan's results are
+	// consumed order-insensitively (a single implicit group whose
+	// aggregates do not depend on row order, or ASK's any-row check).
+	// The parallel batch executor then fans morsel results in by
+	// completion order instead of paying the order-preserving merge.
+	unordered bool
+
 	// scratch holds terms computed while answering this query (BIND,
 	// VALUES, extended projection, aggregate results) so evaluation
 	// never grows the store's shared dictionary. Updates resolve any
@@ -116,6 +129,20 @@ func (ec *execCtx) scan(p store.Pattern, fn func(store.IDQuad) bool) {
 		}
 		return fn(q)
 	})
+}
+
+// quadVisible reports whether a quad belongs to the dataset's models —
+// the per-row form of the model filter ec.scan applies, used by the
+// batched scan loops (which receive raw index runs).
+func (ec *execCtx) quadVisible(q store.IDQuad) bool {
+	if ec.models == nil {
+		return true
+	}
+	if ec.singleModel != store.NoID {
+		return q.M == ec.singleModel
+	}
+	_, ok := ec.models[q.M]
+	return ok
 }
 
 // unitSource yields a single empty binding of the scope's width.
@@ -605,56 +632,84 @@ func (sh *bgpShared) buildHash(depth int, rp *resolvedPattern, b binding) {
 	hs.built.Store(true)
 }
 
+// newShared builds the per-evaluation shared state of a BGP: resolved
+// patterns, join order, filter placement and profiling slots. It
+// reports ok=false when a constant term does not occur in the
+// dictionary (the BGP can have no solutions).
+func (o *bgpOp) newShared(ec *execCtx) (*bgpShared, bool) {
+	rps := o.resolve(ec)
+	for _, rp := range rps {
+		if rp.missing {
+			return nil, false // a constant term does not occur: no solutions
+		}
+	}
+	order := orderPatterns(rps, 0)
+
+	// Place filters at the earliest position where their variables
+	// are all bound; filters never bound become final filters.
+	bound := varset(0)
+	filterAt := make([][]*filterOp, len(order)+1)
+	placed := make([]bool, len(o.filters))
+	for step, oi := range order {
+		bound |= rps[oi].qp.vars()
+		for fi, f := range o.filters {
+			if !placed[fi] && f.need&^bound == 0 {
+				filterAt[step+1] = append(filterAt[step+1], f)
+				placed[fi] = true
+			}
+		}
+	}
+	var finalFilters []*filterOp
+	for fi, f := range o.filters {
+		if !placed[fi] {
+			finalFilters = append(finalFilters, f)
+		}
+	}
+
+	sh := &bgpShared{
+		ec:           ec,
+		rps:          rps,
+		order:        order,
+		filterAt:     filterAt,
+		finalFilters: finalFilters,
+		hashes:       make([]hashState, len(order)),
+		inputSeen:    make([]atomic.Int64, len(order)),
+	}
+	if ec.prof != nil && o.sid > 0 {
+		// Join step i runs under stage id sid+1+i (execution order,
+		// matching explain and the profile tree).
+		sh.bgpStage = ec.prof.stage(o.sid)
+		sh.stepStats = make([]*profStage, len(order))
+		for i := range order {
+			sh.stepStats[i] = ec.prof.stage(o.sid + 1 + i)
+		}
+	}
+	return sh, true
+}
+
+// foldStepStats folds the per-step input counters and the NLJ→hash
+// switch flags into the profile once per evaluation.
+func (sh *bgpShared) foldStepStats() {
+	if sh.stepStats == nil {
+		return
+	}
+	for i := range sh.order {
+		if st := sh.stepStats[i]; st != nil {
+			st.rowsIn.Add(sh.inputSeen[i].Load())
+			if sh.hashes[i].built.Load() {
+				st.hashJoin.Store(true)
+			}
+		}
+	}
+}
+
 func (o *bgpOp) apply(ec *execCtx, in source) source {
 	return func(yield func(binding) bool) error {
-		rps := o.resolve(ec)
-		for _, rp := range rps {
-			if rp.missing {
-				return nil // a constant term does not occur: no solutions
-			}
+		sh, ok := o.newShared(ec)
+		if !ok {
+			return nil
 		}
-		order := orderPatterns(rps, 0)
-
-		// Place filters at the earliest position where their variables
-		// are all bound; filters never bound become final filters.
-		bound := varset(0)
-		filterAt := make([][]*filterOp, len(order)+1)
-		placed := make([]bool, len(o.filters))
-		for step, oi := range order {
-			bound |= rps[oi].qp.vars()
-			for fi, f := range o.filters {
-				if !placed[fi] && f.need&^bound == 0 {
-					filterAt[step+1] = append(filterAt[step+1], f)
-					placed[fi] = true
-				}
-			}
-		}
-		var finalFilters []*filterOp
-		for fi, f := range o.filters {
-			if !placed[fi] {
-				finalFilters = append(finalFilters, f)
-			}
-		}
-
-		sh := &bgpShared{
-			ec:           ec,
-			rps:          rps,
-			order:        order,
-			filterAt:     filterAt,
-			finalFilters: finalFilters,
-			hashes:       make([]hashState, len(order)),
-			inputSeen:    make([]atomic.Int64, len(order)),
-		}
-		if ec.prof != nil && o.sid > 0 {
-			// Join step i runs under stage id sid+1+i (execution order,
-			// matching explain and the profile tree).
-			sh.bgpStage = ec.prof.stage(o.sid)
-			sh.stepStats = make([]*profStage, len(order))
-			for i := range order {
-				sh.stepStats[i] = ec.prof.stage(o.sid + 1 + i)
-			}
-		}
-		w := &bgpWalker{sh: sh, undos: make([]undoList, len(order)), emit: yield}
+		w := &bgpWalker{sh: sh, undos: make([]undoList, len(sh.order)), emit: yield}
 		err := in(func(b binding) bool {
 			if sh.bgpStage != nil {
 				sh.bgpStage.rowsIn.Add(1)
@@ -666,18 +721,7 @@ func (o *bgpOp) apply(ec *execCtx, in source) source {
 			}
 			return w.step(0, b)
 		})
-		if sh.stepStats != nil {
-			// Fold the per-step input counters and the NLJ→hash switch
-			// flags into the profile once per evaluation.
-			for i := range order {
-				if st := sh.stepStats[i]; st != nil {
-					st.rowsIn.Add(sh.inputSeen[i].Load())
-					if sh.hashes[i].built.Load() {
-						st.hashJoin.Store(true)
-					}
-				}
-			}
-		}
+		sh.foldStepStats()
 		if err == nil && ec.guard != nil {
 			err = ec.guard.Err()
 		}
@@ -1121,14 +1165,25 @@ func evalSelect(ec *execCtx, cp *compiled) ([][]rdf.Term, error) {
 		return nil, nil
 	}
 	width := len(cp.vt.names)
-	src := runPipeline(ec, cp.pipeline, unitSource(width))
+	// The batch path may fan morsel results in unordered when nothing
+	// downstream observes row order (DESIGN.md §15).
+	ec.unordered = orderInsensitive(cp)
+	bs := vectorTail(ec, cp.pipeline, width)
+	var src source
+	if bs == nil {
+		src = runPipeline(ec, cp.pipeline, unitSource(width))
+	}
 
 	var solutions []binding
 	if cp.grouping {
 		gst := ec.profStage(cp.groupSid)
 		start := profNow(gst)
 		var err error
-		solutions, err = groupSolutions(ec, cp, src)
+		if bs != nil {
+			solutions, err = groupSolutionsBatch(ec, cp, bs)
+		} else {
+			solutions, err = groupSolutions(ec, cp, src)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -1140,11 +1195,31 @@ func evalSelect(ec *execCtx, cp *compiled) ([][]rdf.Term, error) {
 		if cp.limit >= 0 && len(cp.orderBy) == 0 && !cp.distinct && !hasProjExprs(cp) {
 			budget = cp.offset + cp.limit
 		}
-		if err := finishGuard(ec, src(func(b binding) bool {
+		// Both consumers below materialize each solution and then apply
+		// the same caps: MaxRows bounds what the query may materialize,
+		// before DISTINCT or OFFSET/LIMIT shrink it — a resource cap,
+		// not a result-shaping knob — and budget stops a plain LIMIT
+		// query as soon as enough rows exist (mid-batch included).
+		if bs != nil {
+			err := finishGuard(ec, bs(func(cb *colBatch) bool {
+				for i := 0; i < cb.n; i++ {
+					b := make(binding, width)
+					cb.materialize(i, b)
+					solutions = append(solutions, b)
+					if !ec.guard.checkRows(len(solutions)) {
+						return false
+					}
+					if budget >= 0 && len(solutions) >= budget {
+						return false
+					}
+				}
+				return true
+			}))
+			if err != nil {
+				return nil, err
+			}
+		} else if err := finishGuard(ec, src(func(b binding) bool {
 			solutions = append(solutions, b.clone())
-			// MaxRows bounds what the query may materialize, before
-			// DISTINCT or OFFSET/LIMIT shrink it — it is a resource
-			// cap, not a result-shaping knob.
 			if !ec.guard.checkRows(len(solutions)) {
 				return false
 			}
@@ -1283,119 +1358,131 @@ type aggState struct {
 	started bool
 }
 
-// groupSolutions consumes the source and folds each solution into its
-// group's aggregate states, returning one representative binding per
-// group with the aggregate result slots filled.
-func groupSolutions(ec *execCtx, cp *compiled, src source) ([]binding, error) {
-	width := len(cp.vt.names)
-	type groupData struct {
-		rep    binding
-		states []*aggState
-	}
-	groups := make(map[string]*groupData)
-	var order []string
+// groupData is one group's representative binding and aggregate states.
+type groupData struct {
+	rep    binding
+	states []*aggState
+}
 
-	var keyBuf strings.Builder
-	keyOf := func(b binding) string {
-		if len(cp.groupBy) == 0 {
-			return ""
-		}
-		keyBuf.Reset()
-		for _, ge := range cp.groupBy {
-			// Group keys of plain variables hash by ID, not lexical form.
-			if vs, isVar := ge.(*exprSlot); isVar {
-				fmt.Fprintf(&keyBuf, "#%d", b[vs.slot])
-			} else if t, err := ge.eval(ec, b); err == nil {
-				keyBuf.WriteString(t.String())
-			}
-			keyBuf.WriteByte('\x00')
-		}
-		return keyBuf.String()
-	}
+// groupAcc folds solutions into per-group aggregate states — the
+// accumulator shared by the row (groupSolutions) and batch
+// (groupSolutionsBatch) grouping paths, so both produce identical
+// groups in identical order.
+type groupAcc struct {
+	ec     *execCtx
+	cp     *compiled
+	groups map[string]*groupData
+	order  []string
+	// single is the implicit group when there is no GROUP BY: the key
+	// map is skipped entirely — path counting queries like EQ11e fold
+	// hundreds of millions of rows into one group.
+	single *groupData
+	keyBuf strings.Builder
+}
 
-	newGroup := func(b binding) *groupData {
-		// Representative keeps only GROUP BY variables.
-		rep := make(binding, width)
-		for _, ge := range cp.groupBy {
-			if vs, isVar := ge.(*exprSlot); isVar {
-				rep[vs.slot] = b[vs.slot]
-			}
-		}
-		gd := &groupData{rep: rep, states: make([]*aggState, len(cp.aggregates))}
-		for i := range gd.states {
-			gd.states[i] = &aggState{}
-		}
-		return gd
-	}
-
-	// Implicit single group (no GROUP BY): skip the key map — path
-	// counting queries like EQ11e fold hundreds of millions of rows
-	// into one group.
-	var single *groupData
+func newGroupAcc(ec *execCtx, cp *compiled) *groupAcc {
+	acc := &groupAcc{ec: ec, cp: cp, groups: make(map[string]*groupData)}
 	if len(cp.groupBy) == 0 {
-		single = newGroup(nil)
-		groups[""] = single
-		order = append(order, "")
+		acc.single = acc.newGroup(nil)
+		acc.groups[""] = acc.single
+		acc.order = append(acc.order, "")
 	}
+	return acc
+}
 
-	if err := finishGuard(ec, src(func(b binding) bool {
-		gd := single
-		if gd == nil {
-			key := keyOf(b)
-			var ok bool
-			gd, ok = groups[key]
-			if !ok {
-				if !ec.guard.checkRows(len(groups) + 1) {
-					return false
-				}
-				gd = newGroup(b)
-				groups[key] = gd
-				order = append(order, key)
-			}
+func (acc *groupAcc) keyOf(b binding) string {
+	acc.keyBuf.Reset()
+	for _, ge := range acc.cp.groupBy {
+		// Group keys of plain variables hash by ID, not lexical form.
+		if vs, isVar := ge.(*exprSlot); isVar {
+			fmt.Fprintf(&acc.keyBuf, "#%d", b[vs.slot])
+		} else if t, err := ge.eval(acc.ec, b); err == nil {
+			acc.keyBuf.WriteString(t.String())
 		}
-		for i, agg := range cp.aggregates {
-			st := gd.states[i]
-			// Fast path: COUNT(?v) only needs boundness, no term.
-			if agg.fn == "COUNT" && !agg.distinct {
-				if agg.arg == nil {
+		acc.keyBuf.WriteByte('\x00')
+	}
+	return acc.keyBuf.String()
+}
+
+func (acc *groupAcc) newGroup(b binding) *groupData {
+	// Representative keeps only GROUP BY variables.
+	rep := make(binding, len(acc.cp.vt.names))
+	for _, ge := range acc.cp.groupBy {
+		if vs, isVar := ge.(*exprSlot); isVar {
+			rep[vs.slot] = b[vs.slot]
+		}
+	}
+	gd := &groupData{rep: rep, states: make([]*aggState, len(acc.cp.aggregates))}
+	for i := range gd.states {
+		gd.states[i] = &aggState{}
+	}
+	return gd
+}
+
+// add folds one solution into its group, returning false when the
+// guard's row cap latches (new-group creation counts against MaxRows).
+// The binding is only read during the call, so callers may reuse it.
+func (acc *groupAcc) add(b binding) bool {
+	ec, cp := acc.ec, acc.cp
+	gd := acc.single
+	if gd == nil {
+		key := acc.keyOf(b)
+		var ok bool
+		gd, ok = acc.groups[key]
+		if !ok {
+			if !ec.guard.checkRows(len(acc.groups) + 1) {
+				return false
+			}
+			gd = acc.newGroup(b)
+			acc.groups[key] = gd
+			acc.order = append(acc.order, key)
+		}
+	}
+	for i, agg := range cp.aggregates {
+		st := gd.states[i]
+		// Fast path: COUNT(?v) only needs boundness, no term.
+		if agg.fn == "COUNT" && !agg.distinct {
+			if agg.arg == nil {
+				st.count++
+				continue
+			}
+			if vs, isVar := agg.arg.(*exprSlot); isVar {
+				if vs.slot < len(b) && b[vs.slot] != store.NoID {
 					st.count++
-					continue
 				}
-				if vs, isVar := agg.arg.(*exprSlot); isVar {
-					if vs.slot < len(b) && b[vs.slot] != store.NoID {
-						st.count++
-					}
-					continue
-				}
+				continue
 			}
-			var val rdf.Term
-			if agg.arg != nil {
-				t, err := agg.arg.eval(ec, b)
-				if err != nil {
-					continue // error values do not contribute
-				}
-				val = t
-			}
-			if agg.distinct {
-				if st.seen == nil {
-					st.seen = make(map[string]struct{})
-				}
-				k := val.String()
-				if _, dup := st.seen[k]; dup {
-					continue
-				}
-				st.seen[k] = struct{}{}
-			}
-			accumulate(st, agg, val)
 		}
-		return true
-	})); err != nil {
-		return nil, err
+		var val rdf.Term
+		if agg.arg != nil {
+			t, err := agg.arg.eval(ec, b)
+			if err != nil {
+				continue // error values do not contribute
+			}
+			val = t
+		}
+		if agg.distinct {
+			if st.seen == nil {
+				st.seen = make(map[string]struct{})
+			}
+			k := val.String()
+			if _, dup := st.seen[k]; dup {
+				continue
+			}
+			st.seen[k] = struct{}{}
+		}
+		accumulate(st, agg, val)
 	}
+	return true
+}
 
-	out := make([]binding, 0, len(groups))
-	for _, key := range order {
-		gd := groups[key]
+// finish materializes the groups: aggregate results interned into the
+// representative bindings, HAVING applied, first-seen group order.
+func (acc *groupAcc) finish() []binding {
+	ec, cp := acc.ec, acc.cp
+	out := make([]binding, 0, len(acc.groups))
+	for _, key := range acc.order {
+		gd := acc.groups[key]
 		for i, agg := range cp.aggregates {
 			t, ok := finishAgg(gd.states[i], agg)
 			if ok {
@@ -1414,7 +1501,18 @@ func groupSolutions(ec *execCtx, cp *compiled, src source) ([]binding, error) {
 			out = append(out, gd.rep)
 		}
 	}
-	return out, nil
+	return out
+}
+
+// groupSolutions consumes the source and folds each solution into its
+// group's aggregate states, returning one representative binding per
+// group with the aggregate result slots filled.
+func groupSolutions(ec *execCtx, cp *compiled, src source) ([]binding, error) {
+	acc := newGroupAcc(ec, cp)
+	if err := finishGuard(ec, src(acc.add)); err != nil {
+		return nil, err
+	}
+	return acc.finish(), nil
 }
 
 func accumulate(st *aggState, agg compiledAgg, val rdf.Term) {

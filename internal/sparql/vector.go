@@ -1,0 +1,932 @@
+package sparql
+
+// Vectorized batch-at-a-time execution (DESIGN.md §15).
+//
+// The row-at-a-time pipeline pays an interface dispatch, a guard tick
+// and (when profiling) counter flushes per binding; at the paper's
+// path-counting scale (EQ11d folds ~10^6 intermediate rows into one
+// COUNT) that per-row overhead dominates the join work itself. The
+// vectorized executor pushes fixed-size columnar batches of store.ID
+// vectors through the BGP instead:
+//
+//   - Scans pull contiguous runs from the store's batched scan API
+//     (store.ScanBatch / Cursor.NextBatch) and bind whole runs in tight
+//     loops; the guard is charged once per run via tickN, and profile
+//     counters accumulate in locals flushed once per scan.
+//   - Joins advance depth-by-depth over batches: all rows of a batch
+//     are probed (or scanned) at one join step before the output batch
+//     recurses, and an output batch recurses as soon as it fills. This
+//     preserves the serial walker's exact depth-first emission order:
+//     outputs are appended in input-row order at every depth and each
+//     full batch is drained to emission before the next is built, so
+//     the leaf emission sequence is the DFS sequence.
+//   - Filters apply as selection vectors: a batch is compacted in
+//     place, surviving rows copied down, instead of materializing
+//     per-row bindings.
+//
+// The BGP is the vectorized operator; everything else adapts at the
+// boundary. A colBatch carries its input binding (base) plus one ID
+// column per variable slot the BGP touches, so any consumer can
+// materialize rows on demand — evalSelect consumes batches directly
+// (including a columnar COUNT fast path), while non-batch-aware
+// operator shapes simply keep the row pipeline (ec.vectorized gates
+// the whole path, and Engine.DisableVectorized restores the old
+// executor for ablations).
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/store"
+)
+
+// batchRows is the row capacity of one columnar batch — the store's
+// batched-scan run size, so scan runs map 1:1 onto binding batches.
+const batchRows = store.DefaultBatchRows
+
+// vecRampStart is the initial adaptive batch cap. The executor flushes
+// its first output batch after this many rows and grows the cap ×4 per
+// flush up to batchRows, so an early-stopping consumer (ASK, LIMIT, a
+// tight MaxBindings budget) sees its first rows — and the guard its
+// first ticks — after ~64 rows of scan-ahead instead of a full batch,
+// while steady-state scans reach full batch size within two flushes.
+const vecRampStart = 64
+
+// colBatch is a columnar batch of bindings derived from one input
+// binding: base holds the input row's values, and each slot in slots
+// has a column of per-row values for the variables bound by the BGP so
+// far. Rows i of all columns together with base form one binding.
+// Batches handed to consumers are only valid during the callback
+// (producers reuse them); consumers may compact a batch in place
+// (shrink n, move rows down) but must not grow it.
+type colBatch struct {
+	base  binding
+	slots []int         // slots with a column, in binding order
+	cols  [][]store.ID  // indexed by slot; nil = slot not columnar
+	n     int           // rows
+}
+
+func newColBatch(width int, slots []int) *colBatch {
+	cb := &colBatch{slots: slots, cols: make([][]store.ID, width)}
+	for _, s := range slots {
+		cb.cols[s] = make([]store.ID, 0, batchRows)
+	}
+	return cb
+}
+
+func (cb *colBatch) reset() {
+	for _, s := range cb.slots {
+		cb.cols[s] = cb.cols[s][:0]
+	}
+	cb.n = 0
+}
+
+// appendFrom appends one row, reading the column slots' values from b.
+func (cb *colBatch) appendFrom(b binding) {
+	for _, s := range cb.slots {
+		cb.cols[s] = append(cb.cols[s], b[s])
+	}
+	cb.n++
+}
+
+// writeCols overwrites dst's column slots with row i's values. dst must
+// already hold base's values for the non-column slots; every row writes
+// the same slot set, so no values leak between rows.
+func (cb *colBatch) writeCols(i int, dst binding) {
+	for _, s := range cb.slots {
+		dst[s] = cb.cols[s][i]
+	}
+}
+
+// materialize copies row i into dst as a full binding.
+func (cb *colBatch) materialize(i int, dst binding) {
+	copy(dst, cb.base)
+	cb.writeCols(i, dst)
+}
+
+// copyOwned returns a private copy of the batch (columns cloned, base
+// shared), safe to retain past the producer's callback — the form
+// parallel workers send through the merge channels.
+func (cb *colBatch) copyOwned() *colBatch {
+	c := &colBatch{base: cb.base, slots: cb.slots, cols: make([][]store.ID, len(cb.cols)), n: cb.n}
+	for _, s := range cb.slots {
+		c.cols[s] = append([]store.ID(nil), cb.cols[s][:cb.n]...)
+	}
+	return c
+}
+
+// batchSource produces columnar batches, calling yield for each; yield
+// returns false to stop early. Batches are borrowed: valid only during
+// the call.
+type batchSource func(yield func(*colBatch) bool) error
+
+// batchOp is implemented by operators that can emit batches directly.
+type batchOp interface {
+	op
+	applyBatch(ec *execCtx, in source) batchSource
+}
+
+// instrumentBatch is the batch counterpart of queryProfile.instrument:
+// rows-out counts rows (not batches), wall time is inclusive.
+func (p *queryProfile) instrumentBatch(sid int, src batchSource) batchSource {
+	st := p.stage(sid)
+	if st == nil {
+		return src
+	}
+	return func(yield func(*colBatch) bool) error {
+		st.invocations.Add(1)
+		start := time.Now()
+		var rows int64
+		err := src(func(cb *colBatch) bool {
+			rows += int64(cb.n)
+			return yield(cb)
+		})
+		st.rowsOut.Add(rows)
+		st.wall.Add(int64(time.Since(start)))
+		return err
+	}
+}
+
+// passFilters evaluates a filter list against one materialized row.
+func passFilters(ec *execCtx, filters []*filterOp, b binding) bool {
+	for _, f := range filters {
+		v, err := evalBool(ec, f.cond, b)
+		if err != nil || !v {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------
+// The vectorized BGP driver.
+// ---------------------------------------------------------------------
+
+// vecExec drives one BGP input binding through the join tree
+// batch-at-a-time. It is the batch counterpart of bgpWalker: the plan
+// (which slots are columnar at each depth) is derived from the input
+// binding's boundness mask and rebuilt only when the mask changes, so
+// repeated input bindings reuse every buffer.
+type vecExec struct {
+	sh    *bgpShared
+	width int
+	base  binding // the current input binding (borrowed)
+	mask  varset  // boundness mask the plan below was built for
+	ready bool
+
+	// colSlots[d] are the columnar slots of the batch entering depth d
+	// (d = len(order) is the emission depth); out[d] is the reusable
+	// output batch of depth d, scratch[d] the depth's materialization
+	// buffer, undo[d] its in-place binding undo log.
+	colSlots [][]int
+	out      []*colBatch
+	scratch  []binding
+	undo     []undoList
+	unit     *colBatch // the 1-row, column-less batch entering depth 0
+
+	// cap is the adaptive output-batch flush threshold (vecRampStart up
+	// to batchRows), shared across depths and reset per input binding.
+	cap int
+
+	// emit receives finished batches (borrowed, valid during the call).
+	emit func(*colBatch) bool
+}
+
+func newVecExec(sh *bgpShared, width int, emit func(*colBatch) bool) *vecExec {
+	return &vecExec{sh: sh, width: width, emit: emit, unit: &colBatch{}}
+}
+
+// prepare points the executor at a new input binding, rebuilding the
+// per-depth plan when the binding's boundness differs from the last.
+func (vx *vecExec) prepare(b binding) {
+	vx.base = b
+	mask := varset(0)
+	for s, v := range b {
+		if v != store.NoID {
+			mask = mask.with(s)
+		}
+	}
+	nd := len(vx.sh.order)
+	if !vx.ready || mask != vx.mask {
+		vx.ready, vx.mask = true, mask
+		bound := mask
+		vx.colSlots = make([][]int, nd+1)
+		for d, oi := range vx.sh.order {
+			rp := &vx.sh.rps[oi]
+			next := append([]int(nil), vx.colSlots[d]...)
+			addNew := func(r posRef) {
+				if r.isVar && !bound.has(r.slot) {
+					next = append(next, r.slot)
+					bound = bound.with(r.slot)
+				}
+			}
+			addNew(rp.qp.s)
+			addNew(rp.qp.p)
+			addNew(rp.qp.o)
+			if rp.qp.g.kind == GraphVar {
+				addNew(posRef{isVar: true, slot: rp.qp.g.slot})
+			}
+			vx.colSlots[d+1] = next
+		}
+		vx.out = make([]*colBatch, nd)
+		for d := range vx.out {
+			vx.out[d] = newColBatch(vx.width, vx.colSlots[d+1])
+		}
+		vx.scratch = make([]binding, nd+1)
+		for i := range vx.scratch {
+			vx.scratch[i] = make(binding, vx.width)
+		}
+		vx.undo = make([]undoList, nd)
+	}
+	for i := range vx.scratch {
+		copy(vx.scratch[i], b)
+	}
+	for d := range vx.out {
+		vx.out[d].reset()
+		vx.out[d].base = b
+	}
+	vx.unit.base = b
+	vx.unit.n = 1
+}
+
+// run evaluates the join tree for one input binding. It returns false
+// when the consumer stopped or the guard tripped.
+func (vx *vecExec) run(b binding) bool {
+	vx.prepare(b)
+	vx.cap = vecRampStart
+	return vx.step(0, vx.unit)
+}
+
+// grow raises the adaptive batch cap after a flush.
+func (vx *vecExec) grow() {
+	if vx.cap < batchRows {
+		vx.cap *= 4
+		if vx.cap > batchRows {
+			vx.cap = batchRows
+		}
+	}
+}
+
+// selectRows compacts in to the rows passing the depth's entry filters
+// (the selection-vector form of the row walker's filterAt check).
+func (vx *vecExec) selectRows(depth int, in *colBatch, filters []*filterOp) {
+	ec := vx.sh.ec
+	scratch := vx.scratch[depth]
+	w := 0
+	for i := 0; i < in.n; i++ {
+		in.writeCols(i, scratch)
+		if !passFilters(ec, filters, scratch) {
+			continue
+		}
+		if w != i {
+			for _, s := range in.slots {
+				in.cols[s][w] = in.cols[s][i]
+			}
+		}
+		w++
+	}
+	in.n = w
+}
+
+// step processes one input batch at a join depth, appending results to
+// the depth's output batch and draining it to the next depth whenever
+// it fills — the batch counterpart of bgpWalker.step. It returns false
+// when the consumer stopped or the guard tripped; filtered-out or
+// non-matching rows are simply skipped.
+func (vx *vecExec) step(depth int, in *colBatch) bool {
+	sh := vx.sh
+	ec := sh.ec
+	// Cooperative cancellation, amortized to once per batch; the scan
+	// and probe loops below poll again per run via tickN.
+	if !ec.guard.poll() {
+		return false
+	}
+	if filters := sh.filterAt[depth]; len(filters) > 0 {
+		vx.selectRows(depth, in, filters)
+	}
+	if in.n == 0 {
+		return true
+	}
+	if depth == len(sh.order) {
+		return vx.emitBatch(in)
+	}
+	rp := &sh.rps[sh.order[depth]]
+	hs := &sh.hashes[depth]
+	pst := sh.stepStat(depth)
+	scratch := vx.scratch[depth]
+	out := vx.out[depth]
+	seen := sh.inputSeen[depth].Add(int64(in.n))
+
+	// The adaptive NLJ→hash switch, decided once per input batch. The
+	// switch point can differ from the row walker's by up to one batch;
+	// both access paths emit rows in identical order, so the output is
+	// unaffected (DESIGN.md §10).
+	if !hs.built.Load() && !ec.noHashJoin && seen > int64(ec.hashMin) &&
+		rp.estConst < 64*int(seen) {
+		in.writeCols(0, scratch)
+		sh.buildHash(depth, rp, scratch)
+	}
+
+	if hs.built.Load() {
+		in.writeCols(0, scratch)
+		usable := true
+		//pgrdfvet:ignore guardedby -- keySlots is frozen before built.Store(true); built.Load() above is the publication barrier
+		for _, slot := range hs.keySlots {
+			if scratch[slot] == store.NoID {
+				usable = false // heterogeneous boundness: NLJ fallback
+				break
+			}
+		}
+		if usable {
+			return vx.probeBatch(depth, in, rp, hs, pst)
+		}
+	}
+
+	// Index nested-loop join over the batched scan: one range scan per
+	// input row, bound in tight loops over the returned runs. Guard
+	// charges batch up in pending and flush once per run (tickN is
+	// budget-equivalent to per-row ticks); profile counters flush once
+	// per input batch.
+	stopped := false
+	var scanned, emitted int64
+	pending := 0
+	for i := 0; i < in.n; i++ {
+		in.writeCols(i, scratch)
+		stop := false
+		ec.st.ScanBatch(rp.boundPattern(scratch), batchRows, func(run []store.IDQuad) bool {
+			for _, q := range run {
+				if !ec.quadVisible(q) {
+					continue
+				}
+				scanned++
+				pending++
+				if !rp.matchesGraphCtx(q) {
+					continue
+				}
+				if !rp.bindQuad(scratch, q, &vx.undo[depth]) {
+					continue
+				}
+				emitted++
+				out.appendFrom(scratch)
+				vx.undo[depth].revert(scratch)
+				if out.n >= vx.cap {
+					if !ec.guard.tickN(pending) {
+						pending, stop = 0, true
+						return false
+					}
+					pending = 0
+					if !vx.step(depth+1, out) {
+						stop = true
+						return false
+					}
+					out.reset()
+					vx.grow()
+				}
+			}
+			if !ec.guard.tickN(pending) {
+				pending, stop = 0, true
+				return false
+			}
+			pending = 0
+			return true
+		})
+		if stop {
+			stopped = true
+			break
+		}
+	}
+	pst.addTicks(scanned)
+	pst.addRows(emitted)
+	if stopped {
+		return false
+	}
+	if out.n > 0 {
+		cont := vx.step(depth+1, out)
+		out.reset()
+		return cont
+	}
+	return true
+}
+
+// probeBatch joins one input batch against a built hash table.
+func (vx *vecExec) probeBatch(depth int, in *colBatch, rp *resolvedPattern, hs *hashState, pst *profStage) bool {
+	ec := vx.sh.ec
+	scratch := vx.scratch[depth]
+	out := vx.out[depth]
+	var probes int64 // flushed in one atomic per input batch
+	pending := 0
+	stopped := false
+	for i := 0; i < in.n; i++ {
+		in.writeCols(i, scratch)
+		var key [4]store.ID
+		//pgrdfvet:ignore guardedby -- keySlots is frozen before built.Store(true); the caller's built.Load() is the publication barrier
+		for k, slot := range hs.keySlots {
+			key[k] = scratch[slot]
+		}
+		//pgrdfvet:ignore guardedby -- table is immutable after built.Store(true); the caller's built.Load() is the publication barrier
+		for _, q := range hs.table[key] {
+			// Non-key bound positions are validated by bindQuad, like
+			// the row walker's probe loop.
+			if !rp.bindQuad(scratch, q, &vx.undo[depth]) {
+				continue
+			}
+			probes++
+			pending++
+			out.appendFrom(scratch)
+			vx.undo[depth].revert(scratch)
+			if out.n >= vx.cap {
+				// Probed rows bypass the scan guard, so charge them
+				// here — batched, like the scan path.
+				if !ec.guard.tickN(pending) {
+					pending, stopped = 0, true
+					break
+				}
+				pending = 0
+				if !vx.step(depth+1, out) {
+					stopped = true
+					break
+				}
+				out.reset()
+				vx.grow()
+			}
+		}
+		if stopped {
+			break
+		}
+	}
+	if !stopped && !ec.guard.tickN(pending) {
+		stopped = true
+	}
+	pst.addProbes(probes)
+	if stopped {
+		return false
+	}
+	if out.n > 0 {
+		cont := vx.step(depth+1, out)
+		out.reset()
+		return cont
+	}
+	return true
+}
+
+// emitBatch applies the final filters as a selection over the finished
+// batch and hands it to the consumer.
+func (vx *vecExec) emitBatch(in *colBatch) bool {
+	sh := vx.sh
+	if len(sh.finalFilters) > 0 {
+		vx.selectRows(len(sh.order), in, sh.finalFilters)
+		// selectRows ran the final filters; re-running filterAt at this
+		// depth is step's job, which already happened.
+	}
+	if in.n == 0 {
+		return true
+	}
+	return vx.emit(in)
+}
+
+// applyBatch is the vectorized form of bgpOp.apply: same shared state,
+// same parallel fan-out decision per input binding, batch emission.
+func (o *bgpOp) applyBatch(ec *execCtx, in source) batchSource {
+	return func(yield func(*colBatch) bool) error {
+		sh, ok := o.newShared(ec)
+		if !ok {
+			return nil
+		}
+		var vx *vecExec
+		err := in(func(b binding) bool {
+			if sh.bgpStage != nil {
+				sh.bgpStage.rowsIn.Add(1)
+			}
+			if ec.parallelism > 1 {
+				if handled, cont := sh.tryParallelBatch(b, yield); handled {
+					return cont
+				}
+			}
+			if vx == nil {
+				vx = newVecExec(sh, len(b), yield)
+			}
+			return vx.run(b)
+		})
+		sh.foldStepStats()
+		if err == nil && ec.guard != nil {
+			err = ec.guard.Err()
+		}
+		return err
+	}
+}
+
+// ---------------------------------------------------------------------
+// Parallel morsels in batch form.
+// ---------------------------------------------------------------------
+
+// tryParallelBatch mirrors tryParallel for the vectorized driver: fan
+// the first join step's scan out to workers when it is big enough and
+// worker slots are free, emitting batches through the merge.
+func (sh *bgpShared) tryParallelBatch(b binding, yield func(*colBatch) bool) (handled, cont bool) {
+	ec := sh.ec
+	if len(sh.order) == 0 {
+		return false, true
+	}
+	if !ec.guard.poll() {
+		return true, false
+	}
+	for _, f := range sh.filterAt[0] {
+		v, err := evalBool(ec, f.cond, b)
+		if err != nil || !v {
+			return true, true // filtered out, like the serial step(0, b)
+		}
+	}
+	rp := &sh.rps[sh.order[0]]
+	pat := rp.boundPattern(b)
+	// Uncached estimate: bound patterns can carry per-query overlay IDs
+	// (VALUES/BIND terms), which must not leak into the shared cache.
+	if ec.st.EstimateCount(pat) < parallelScanMinRows {
+		return false, true
+	}
+	workers := ec.acquireWorkers(ec.parallelism)
+	if workers < 2 {
+		ec.releaseWorkers(workers)
+		return false, true
+	}
+	defer ec.releaseWorkers(workers)
+	// The driver replaces the serial run(b) for this binding; keep the
+	// step-0 input accounting consistent for later serial bindings.
+	sh.inputSeen[0].Add(1)
+	return true, sh.runParallelBatch(b, rp, pat, workers, yield)
+}
+
+// runParallelBatch executes one input binding's join tree with a
+// partitioned first-step scan, morsels handing whole batches through
+// the merge. In ordered mode the merge drains per-morsel channels
+// strictly in morsel order (byte-identical to serial); when the query
+// consumes results order-insensitively (ec.unordered, see
+// orderInsensitive) batches fan in by completion order instead and the
+// merge cost disappears. It returns false when the consumer stopped or
+// the guard tripped.
+func (sh *bgpShared) runParallelBatch(b binding, rp *resolvedPattern, pat store.Pattern, workers int, yield func(*colBatch) bool) bool {
+	ec := sh.ec
+	cur := ec.snapshot(pat)
+	if cur == nil {
+		return false // guard tripped before the snapshot
+	}
+	morsels := cur.Partitions(workers * morselsPerWorker)
+	ec.markParallel(workers, len(morsels))
+	if sh.bgpStage != nil {
+		sh.bgpStage.morsels.Add(int64(len(morsels)))
+	}
+
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		stopOnce sync.Once
+		stopped  = make(chan struct{})
+		wg       sync.WaitGroup
+	)
+	halt := func() {
+		stop.Store(true)
+		stopOnce.Do(func() { close(stopped) })
+	}
+
+	// Fan-in plumbing: ordered mode gives each morsel its own bounded
+	// channel; unordered mode shares one channel among all workers.
+	unordered := ec.unordered
+	var outs []chan *colBatch
+	var shared chan *colBatch
+	if unordered {
+		shared = make(chan *colBatch, workers*2)
+	} else {
+		outs = make([]chan *colBatch, len(morsels))
+		for i := range outs {
+			outs[i] = make(chan *colBatch, 2)
+		}
+	}
+
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ec.workerEnter()
+			defer ec.workerExit()
+			base := b.clone()
+			vx := newVecExec(sh, len(base), nil)
+			for !stop.Load() {
+				k := int(next.Add(1) - 1)
+				if k >= len(morsels) {
+					return
+				}
+				out := shared
+				if !unordered {
+					out = outs[k]
+				}
+				sh.processMorselBatch(vx, base, rp, morsels[k], out, !unordered, stopped, &stop)
+			}
+		}()
+	}
+
+	ok := true
+	if unordered {
+		// Completion-order fan-in: a closer goroutine seals the shared
+		// channel once every worker has joined; the drain loop below is
+		// the channel handshake that joins the closer itself.
+		go func() {
+			wg.Wait()
+			close(shared)
+		}()
+		for cb := range shared {
+			if !yield(cb) {
+				ok = false
+				halt()
+				break
+			}
+		}
+		halt()
+		for range shared {
+			// Drain until the closer seals the channel, so no worker
+			// stays blocked on a send and the closer always exits.
+		}
+	} else {
+		// Order-preserving merge: drain the per-morsel channels strictly
+		// in morsel order, so emission order equals one serial scan over
+		// the same snapshot.
+	merge:
+		for _, ch := range outs {
+			for cb := range ch {
+				if !yield(cb) {
+					ok = false
+					halt()
+					break merge
+				}
+			}
+		}
+		halt()
+	}
+	wg.Wait()
+	// Workers close the morsels they claimed; release the rest.
+	claimed := int(next.Load())
+	if claimed > len(morsels) {
+		claimed = len(morsels)
+	}
+	for _, m := range morsels[claimed:] {
+		m.Close()
+	}
+	if ec.guard.Err() != nil {
+		return false
+	}
+	return ok
+}
+
+// processMorselBatch runs the vectorized join pipeline over one morsel
+// of the first step's scan, sending finished batches (privately copied)
+// to the merge. It always closes the morsel cursor, and in ordered mode
+// its output channel.
+func (sh *bgpShared) processMorselBatch(vx *vecExec, base binding, rp *resolvedPattern, cur *store.Cursor, out chan<- *colBatch, closeOut bool, stopped <-chan struct{}, stop *atomic.Bool) {
+	if closeOut {
+		defer close(out)
+	}
+	defer cur.Close()
+	ec := sh.ec
+	pst := sh.stepStat(0)
+	vx.prepare(base)
+	vx.cap = vecRampStart
+	vx.emit = func(cb *colBatch) bool {
+		select {
+		case out <- cb.copyOwned():
+			return true
+		case <-stopped:
+			return false
+		}
+	}
+	scratch := vx.scratch[0]
+	ob := vx.out[0]
+	// Profiling counts into locals, flushed in one atomic per morsel;
+	// guard charges batch up in pending, flushed once per run.
+	var scanned, emitted int64
+	pending := 0
+	ok := true
+	defer func() {
+		pst.addTicks(scanned)
+		pst.addRows(emitted)
+	}()
+	for ok {
+		if stop.Load() {
+			return
+		}
+		run := cur.NextBatch(batchRows)
+		if run == nil {
+			break
+		}
+		for _, q := range run {
+			// The snapshot pushed a single-model restriction into its
+			// pattern; rowVisible filters the multi-model case.
+			if !ec.rowVisible(q) {
+				continue
+			}
+			scanned++
+			pending++
+			if !rp.matchesGraphCtx(q) {
+				continue
+			}
+			if !rp.bindQuad(scratch, q, &vx.undo[0]) {
+				continue
+			}
+			emitted++
+			ob.appendFrom(scratch)
+			vx.undo[0].revert(scratch)
+			if ob.n >= vx.cap {
+				if !ec.guard.tickN(pending) {
+					pending, ok = 0, false
+					break
+				}
+				pending = 0
+				if !vx.step(1, ob) {
+					ok = false
+					break
+				}
+				ob.reset()
+				vx.grow()
+			}
+		}
+		if !ok {
+			break
+		}
+		if !ec.guard.tickN(pending) {
+			pending, ok = 0, false
+			break
+		}
+		pending = 0
+	}
+	if ok && ob.n > 0 {
+		vx.step(1, ob)
+		ob.reset()
+	}
+}
+
+// ---------------------------------------------------------------------
+// The row/batch boundary: plan tail detection and batch consumers.
+// ---------------------------------------------------------------------
+
+// filterBatch runs a FILTER as a selection vector over each batch:
+// survivors are compacted down in place, empty batches are dropped.
+func (o *filterOp) filterBatch(ec *execCtx, in batchSource) batchSource {
+	var scratch binding
+	return func(yield func(*colBatch) bool) error {
+		return in(func(cb *colBatch) bool {
+			if scratch == nil {
+				scratch = make(binding, len(cb.base))
+			}
+			copy(scratch, cb.base)
+			w := 0
+			for i := 0; i < cb.n; i++ {
+				cb.writeCols(i, scratch)
+				v, err := evalBool(ec, o.cond, scratch)
+				if err != nil || !v {
+					continue
+				}
+				if w != i {
+					for _, s := range cb.slots {
+						cb.cols[s][w] = cb.cols[s][i]
+					}
+				}
+				w++
+			}
+			cb.n = w
+			if cb.n == 0 {
+				return true
+			}
+			return yield(cb)
+		})
+	}
+}
+
+// vectorTail returns the pipeline as a batch source when its tail can
+// run vectorized — the last operator shape the batch executor handles
+// is a BGP followed only by FILTERs; everything before the BGP runs as
+// the ordinary row pipeline feeding it. It returns nil when the plan
+// has no BGP, a non-filter operator follows the last one, or the
+// engine's vectorized executor is disabled — the caller then uses the
+// row pipeline unchanged.
+func vectorTail(ec *execCtx, ops []op, width int) batchSource {
+	if !ec.vectorized {
+		return nil
+	}
+	idx := -1
+	for i, o := range ops {
+		if _, ok := o.(*bgpOp); ok {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return nil
+	}
+	for _, o := range ops[idx+1:] {
+		if _, ok := o.(*filterOp); !ok {
+			return nil
+		}
+	}
+	bgp := ops[idx].(*bgpOp)
+	in := runPipeline(ec, ops[:idx], unitSource(width))
+	bs := bgp.applyBatch(ec, in)
+	if ec.prof != nil {
+		bs = ec.prof.instrumentBatch(bgp.stageID(), bs)
+	}
+	for _, o := range ops[idx+1:] {
+		f := o.(*filterOp)
+		bs = f.filterBatch(ec, bs)
+		if ec.prof != nil {
+			bs = ec.prof.instrumentBatch(f.stageID(), bs)
+		}
+	}
+	return bs
+}
+
+// orderInsensitive reports whether a plan's results cannot depend on
+// the order its solutions are produced in: a single implicit group
+// whose aggregates are order-insensitive folds. COUNT, MIN and MAX
+// qualify (their DISTINCT variants too); SUM and AVG do not (float
+// accumulation order changes the result), nor do SAMPLE and
+// GROUP_CONCAT (they pick by arrival order). When it holds, the
+// parallel batch executor fans morsel results in by completion order
+// instead of paying the order-preserving merge — the EQ11d fix
+// (DESIGN.md §15).
+func orderInsensitive(cp *compiled) bool {
+	if !cp.grouping || len(cp.groupBy) != 0 || len(cp.orderBy) != 0 {
+		return false
+	}
+	for _, agg := range cp.aggregates {
+		switch agg.fn {
+		case "COUNT", "MIN", "MAX":
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// groupSolutionsBatch is groupSolutions over a batch source: identical
+// groups and fold results, but with a columnar fast path for the
+// single-group COUNT shape (the paper's EQ11/EQ12 path- and
+// triangle-counting queries), which never materializes a row at all.
+func groupSolutionsBatch(ec *execCtx, cp *compiled, bs batchSource) ([]binding, error) {
+	acc := newGroupAcc(ec, cp)
+
+	// COUNT-only single group: every aggregate needs at most a
+	// boundness test per row, answered columnar.
+	countOnly := acc.single != nil
+	if countOnly {
+		for _, agg := range cp.aggregates {
+			if agg.fn != "COUNT" || agg.distinct {
+				countOnly = false
+				break
+			}
+			if agg.arg != nil {
+				if _, isSlot := agg.arg.(*exprSlot); !isSlot {
+					countOnly = false
+					break
+				}
+			}
+		}
+	}
+
+	var scratch binding
+	if err := finishGuard(ec, bs(func(cb *colBatch) bool {
+		if countOnly {
+			for i, agg := range cp.aggregates {
+				st := acc.single.states[i]
+				if agg.arg == nil {
+					st.count += int64(cb.n)
+					continue
+				}
+				vs := agg.arg.(*exprSlot)
+				if vs.slot >= len(cb.cols) {
+					continue
+				}
+				if col := cb.cols[vs.slot]; col != nil {
+					for _, v := range col[:cb.n] {
+						if v != store.NoID {
+							st.count++
+						}
+					}
+				} else if cb.base[vs.slot] != store.NoID {
+					// The slot is constant across the batch (bound by
+					// the input binding, not the BGP).
+					st.count += int64(cb.n)
+				}
+			}
+			return true
+		}
+		if scratch == nil {
+			scratch = make(binding, len(cb.base))
+		}
+		for i := 0; i < cb.n; i++ {
+			cb.materialize(i, scratch)
+			if !acc.add(scratch) {
+				return false
+			}
+		}
+		return true
+	})); err != nil {
+		return nil, err
+	}
+	return acc.finish(), nil
+}

@@ -1,0 +1,291 @@
+package sparql
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// rowEngine returns an engine forced onto the row-at-a-time pipeline —
+// the vectorization ablation baseline the differential tests compare
+// against.
+func rowEngine(st *store.Store) *Engine {
+	e := NewEngine(st)
+	e.DisableVectorized = true
+	e.Parallelism = 1
+	return e
+}
+
+// vecEngine returns an engine on the vectorized executor, serial.
+func vecEngine(st *store.Store) *Engine {
+	e := NewEngine(st)
+	e.Parallelism = 1
+	return e
+}
+
+// vectorDiffQueries covers the operator shapes the batch executor
+// handles (BGP + trailing filters, grouping, LIMIT/OFFSET, DISTINCT,
+// ORDER BY) and shapes that must fall back to the row path (UNION,
+// OPTIONAL, property paths, VALUES feeding a BGP).
+var vectorDiffQueries = []string{
+	`SELECT ?a ?b WHERE { ?a rel:follows ?b }`,
+	`SELECT ?a ?c WHERE { ?a rel:follows ?b . ?b rel:follows ?c } LIMIT 2000`,
+	`SELECT (COUNT(*) AS ?n) WHERE { ?a rel:follows ?b . ?b rel:follows ?c }`,
+	`SELECT (COUNT(*) AS ?t) WHERE { ?a rel:follows ?b . ?b rel:follows ?c . ?c rel:follows ?a }`,
+	`SELECT ?a ?b WHERE { ?a rel:follows ?b . FILTER(?a != ?b) }`,
+	`SELECT ?a ?b WHERE { ?a rel:follows ?b . FILTER(?a = ?b) }`,
+	`SELECT DISTINCT ?a WHERE { ?a rel:follows ?b }`,
+	`SELECT ?a (COUNT(?c) AS ?n) WHERE { ?a rel:follows ?b . ?b rel:follows ?c } GROUP BY ?a ORDER BY DESC(?n) ?a LIMIT 25`,
+	`SELECT (MIN(?b) AS ?lo) (MAX(?b) AS ?hi) (COUNT(?b) AS ?n) WHERE { ?a rel:follows ?b }`,
+	`SELECT (SUM(?n) AS ?s) WHERE { { SELECT ?a (COUNT(?b) AS ?n) WHERE { ?a rel:follows ?b } GROUP BY ?a } }`,
+	`SELECT ?a ?b WHERE { { ?a rel:follows ?b } UNION { ?b rel:follows ?a } } LIMIT 500`,
+	`SELECT ?a ?c WHERE { ?a rel:follows ?b OPTIONAL { ?b rel:follows ?c } } LIMIT 500`,
+	`SELECT ?y WHERE { <http://pg/v0> rel:follows+ ?y } LIMIT 200`,
+	`SELECT ?a ?b WHERE { VALUES ?a { <http://pg/v1> <http://pg/v2> <http://pg/v7> } ?a rel:follows ?b }`,
+	`SELECT ?a WHERE { ?a rel:follows ?a }`,
+}
+
+// TestVectorizedMatchesRow is the row/batch differential: every query
+// must produce byte-identical results from the row pipeline, the
+// serial vectorized executor, and the parallel vectorized executor.
+func TestVectorizedMatchesRow(t *testing.T) {
+	st := egoNetStore(t, 900, 5)
+	row := rowEngine(st)
+	row.HashJoinThreshold = 16
+	vec := vecEngine(st)
+	vec.HashJoinThreshold = 16
+	par := NewEngine(st)
+	par.Parallelism = 8
+	par.HashJoinThreshold = 16
+	for _, q := range vectorDiffQueries {
+		want, err := row.Query("", testPrologue+q)
+		if err != nil {
+			t.Fatalf("row: %v\n%s", err, q)
+		}
+		got, err := vec.Query("", testPrologue+q)
+		if err != nil {
+			t.Fatalf("vectorized: %v\n%s", err, q)
+		}
+		if got.String() != want.String() {
+			t.Errorf("vectorized result differs from row for:\n%s\n--- row ---\n%s\n--- vectorized ---\n%s",
+				q, want.String(), got.String())
+		}
+		pgot, err := par.Query("", testPrologue+q)
+		if err != nil {
+			t.Fatalf("parallel vectorized: %v\n%s", err, q)
+		}
+		if pgot.String() != want.String() {
+			t.Errorf("parallel vectorized result differs from row for:\n%s", q)
+		}
+	}
+	if w := par.ParallelStats().ActiveWorkers; w != 0 {
+		t.Errorf("leaked workers: %d", w)
+	}
+	if g := st.OpenCursors(); g != 0 {
+		t.Errorf("leaked cursors: %d", g)
+	}
+}
+
+// TestVectorizedEmptyBatches drives filters that reject everything (the
+// whole stream, and every row of some batches but not others): the
+// selection vector must compact to empty without emitting, and the
+// result must match the row path.
+func TestVectorizedEmptyBatches(t *testing.T) {
+	st := egoNetStore(t, 600, 5)
+	row := rowEngine(st)
+	vec := vecEngine(st)
+	for _, q := range []string{
+		// No row survives: ?a never equals its own follows-target's name.
+		`SELECT ?a ?b WHERE { ?a rel:follows ?b . FILTER(false) }`,
+		`SELECT (COUNT(*) AS ?n) WHERE { ?a rel:follows ?b . FILTER(false) }`,
+		// A sparse survivor set: most batches compact to empty.
+		`SELECT ?a WHERE { ?a rel:follows ?b . FILTER(?a = <http://pg/v7>) }`,
+	} {
+		want, err := row.Query("", testPrologue+q)
+		if err != nil {
+			t.Fatalf("row: %v\n%s", err, q)
+		}
+		got, err := vec.Query("", testPrologue+q)
+		if err != nil {
+			t.Fatalf("vectorized: %v\n%s", err, q)
+		}
+		if got.String() != want.String() {
+			t.Errorf("empty-batch differential failed for:\n%s\nrow:\n%s\nvec:\n%s", q, want.String(), got.String())
+		}
+	}
+}
+
+// TestVectorizedLimitOffsetBatchBoundary sweeps LIMIT and OFFSET across
+// the batch capacity (one row under, exactly at, one over, multiple
+// batches) so off-by-one errors at batch boundaries cannot hide.
+func TestVectorizedLimitOffsetBatchBoundary(t *testing.T) {
+	st := egoNetStore(t, 1200, 4) // 4800 result rows for the single pattern
+	row := rowEngine(st)
+	vec := vecEngine(st)
+	for _, limit := range []int{1, vecRampStart, vecRampStart + 1, batchRows - 1, batchRows, batchRows + 1, 2*batchRows + 5} {
+		for _, offset := range []int{0, 1, batchRows - 1, batchRows, batchRows + 1} {
+			q := fmt.Sprintf(`SELECT ?a ?b WHERE { ?a rel:follows ?b } OFFSET %d LIMIT %d`, offset, limit)
+			want, err := row.Query("", testPrologue+q)
+			if err != nil {
+				t.Fatalf("row: %v\n%s", err, q)
+			}
+			got, err := vec.Query("", testPrologue+q)
+			if err != nil {
+				t.Fatalf("vectorized: %v\n%s", err, q)
+			}
+			if got.String() != want.String() {
+				t.Fatalf("limit=%d offset=%d: vectorized differs from row", limit, offset)
+			}
+			if want.Len() != limit && offset+limit <= 4800 {
+				t.Fatalf("limit=%d offset=%d: got %d rows", limit, offset, want.Len())
+			}
+		}
+	}
+}
+
+// TestVectorizedDistinctAcrossBatches: duplicates of the same ?a are
+// spread thousands of rows apart (different batches); DISTINCT must
+// still dedupe across batch boundaries exactly like the row path.
+func TestVectorizedDistinctAcrossBatches(t *testing.T) {
+	st := egoNetStore(t, 1500, 4)
+	row := rowEngine(st)
+	vec := vecEngine(st)
+	q := `SELECT DISTINCT ?a WHERE { ?a rel:follows ?b . ?b rel:follows ?c }`
+	want, err := row.Query("", testPrologue+q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := vec.Query("", testPrologue+q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatalf("DISTINCT differs: row %d rows, vectorized %d rows", want.Len(), got.Len())
+	}
+}
+
+// TestVectorizedBudgetExhaustionMidBatch exhausts MaxBindings midway
+// through a multi-batch join on both executors: each must surface
+// ErrBudgetExceeded (the adaptive batch ramp keeps the vectorized
+// scan-ahead well under the overshoot a whole batch would cause).
+func TestVectorizedBudgetExhaustionMidBatch(t *testing.T) {
+	st := egoNetStore(t, 800, 5)
+	for _, mk := range []func(*store.Store) *Engine{rowEngine, vecEngine} {
+		e := mk(st)
+		e.Limits = Budget{MaxBindings: 3000}
+		_, err := e.Query("", testPrologue+`SELECT ?a ?c WHERE { ?a rel:follows ?b . ?b rel:follows ?c }`)
+		if !errors.Is(err, ErrBudgetExceeded) {
+			t.Fatalf("DisableVectorized=%v: err = %v, want ErrBudgetExceeded", e.DisableVectorized, err)
+		}
+	}
+	// A tight budget must still let a first-rows query through: the
+	// ramp bounds scan-ahead below the budget.
+	e := vecEngine(st)
+	e.Limits = Budget{MaxBindings: 500}
+	res, err := e.Query("", testPrologue+`SELECT ?a ?b WHERE { ?a rel:follows ?b } LIMIT 3`)
+	if err != nil || res.Len() != 3 {
+		t.Fatalf("LIMIT 3 under budget: rows=%v err=%v", res.Len(), err)
+	}
+}
+
+// TestVectorizedCancellationBetweenBatches cancels the context before
+// execution: the batch executor's per-batch poll must notice and
+// surface ErrCanceled without leaking workers or cursors.
+func TestVectorizedCancellationBetweenBatches(t *testing.T) {
+	st := egoNetStore(t, 800, 5)
+	for _, parallelism := range []int{1, 8} {
+		e := NewEngine(st)
+		e.Parallelism = parallelism
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := e.QueryContext(ctx, "", testPrologue+`SELECT ?a ?c WHERE { ?a rel:follows ?b . ?b rel:follows ?c }`)
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("parallelism=%d: err = %v, want ErrCanceled", parallelism, err)
+		}
+		if w := e.ParallelStats().ActiveWorkers; w != 0 {
+			t.Errorf("parallelism=%d: leaked workers: %d", parallelism, w)
+		}
+	}
+	if g := st.OpenCursors(); g != 0 {
+		t.Errorf("leaked cursors: %d", g)
+	}
+}
+
+// TestOrderInsensitive pins the merge-skip rule (DESIGN.md §15): only a
+// single implicit group of order-insensitive folds may skip the
+// order-preserving merge.
+func TestOrderInsensitive(t *testing.T) {
+	e := NewEngine(store.New())
+	cases := []struct {
+		q    string
+		want bool
+	}{
+		{`SELECT (COUNT(*) AS ?n) WHERE { ?a ?p ?b }`, true},
+		{`SELECT (COUNT(DISTINCT ?a) AS ?n) WHERE { ?a ?p ?b }`, true},
+		{`SELECT (MIN(?a) AS ?lo) (MAX(?a) AS ?hi) WHERE { ?a ?p ?b }`, true},
+		{`SELECT (SUM(?a) AS ?s) WHERE { ?a ?p ?b }`, false},
+		{`SELECT (AVG(?a) AS ?s) WHERE { ?a ?p ?b }`, false},
+		{`SELECT (SAMPLE(?a) AS ?s) WHERE { ?a ?p ?b }`, false},
+		{`SELECT (GROUP_CONCAT(?a) AS ?s) WHERE { ?a ?p ?b }`, false},
+		{`SELECT ?a (COUNT(?b) AS ?n) WHERE { ?a ?p ?b } GROUP BY ?a`, false},
+		{`SELECT ?a WHERE { ?a ?p ?b }`, false},
+		{`SELECT ?a WHERE { ?a ?p ?b } ORDER BY ?a`, false},
+	}
+	for _, c := range cases {
+		cp, err := e.compileSelectText(testPrologue + c.q)
+		if err != nil {
+			t.Fatalf("%s: %v", c.q, err)
+		}
+		if got := orderInsensitive(cp); got != c.want {
+			t.Errorf("orderInsensitive(%s) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+// TestVectorizedUnorderedParallelCount: the unordered fan-in (merge
+// skipped) must still produce the exact aggregate of the ordered and
+// serial paths — same count, same min/max.
+func TestVectorizedUnorderedParallelCount(t *testing.T) {
+	st := egoNetStore(t, 900, 5)
+	serial := rowEngine(st)
+	par := NewEngine(st)
+	par.Parallelism = 8
+	par.HashJoinThreshold = 16
+	for _, q := range []string{
+		`SELECT (COUNT(*) AS ?n) WHERE { ?a rel:follows ?b . ?b rel:follows ?c }`,
+		`SELECT (MIN(?c) AS ?lo) (MAX(?c) AS ?hi) (COUNT(?c) AS ?n) WHERE { ?a rel:follows ?b . ?b rel:follows ?c }`,
+	} {
+		want, err := serial.Query("", testPrologue+q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := par.Query("", testPrologue+q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != want.String() {
+			t.Errorf("unordered parallel aggregate differs for:\n%s\nserial:\n%s\nparallel:\n%s",
+				q, want.String(), got.String())
+		}
+	}
+	if w := par.ParallelStats().ActiveWorkers; w != 0 {
+		t.Errorf("leaked workers: %d", w)
+	}
+}
+
+// TestVectorizedAsk: ASK through the batch tail — found, not-found, and
+// early stop under a tight budget.
+func TestVectorizedAsk(t *testing.T) {
+	st := egoNetStore(t, 300, 5)
+	e := NewEngine(st)
+	e.Limits = Budget{MaxBindings: 500}
+	if ok, err := e.Ask("", testPrologue+`ASK { ?a rel:follows ?b }`); err != nil || !ok {
+		t.Fatalf("Ask = %v, %v, want true", ok, err)
+	}
+	if ok, err := e.Ask("", testPrologue+`ASK { ?a key:name ?b }`); err != nil || ok {
+		t.Fatalf("Ask = %v, %v, want false", ok, err)
+	}
+}

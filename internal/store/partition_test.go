@@ -11,7 +11,7 @@ import (
 
 // partitionTestStore loads one model with a deterministic synthetic
 // edge set large enough to split meaningfully.
-func partitionTestStore(t *testing.T, n int) *Store {
+func partitionTestStore(t testing.TB, n int) *Store {
 	t.Helper()
 	s := New()
 	quads := make([]rdf.Quad, 0, n)
