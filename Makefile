@@ -44,10 +44,14 @@ race:
 	$(GO) test -race ./...
 
 ## crash-recovery: the durability gate — the fault-injected WAL suite
-## (crash at every log byte, torn-write corpus, checkpoint races) under
-## the race detector. Part of `make check`; see DESIGN.md §12.
+## (crash at every log byte in both checkpoint formats, torn-write
+## corpus, incremental-chain races) plus the binary-snapshot codec
+## differential (binary vs text across index configs, corruption at
+## every byte), all under the race detector. Part of `make check`; see
+## DESIGN.md §12 and §16.
 crash-recovery:
 	$(GO) test -race -count=1 ./internal/wal
+	$(GO) test -race -count=1 -run 'TestBinarySnapshot|TestSnapshotAtomic|TestRestoreHuge|TestSnapshotAdversarial' ./internal/store
 
 ## repl-fault: the replication gate — a follower tailing through a
 ## proxy that drops, delays and truncates mid-frame, plus a leader

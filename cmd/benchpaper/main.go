@@ -70,9 +70,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchpaper:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "recovery bench done in %s: %d quads, checkpoint write %.0fms restore %.0fms, %d-record tail replay %.0fms\n",
+		fmt.Fprintf(os.Stderr, "recovery bench done in %s: %d quads, binary checkpoint write %.0fms restore %.0fms (text restore %.0fms, %.1fx), %d-record tail replay %.0fms, incremental fold %.0fms (%d B delta)\n",
 			time.Since(start).Round(time.Millisecond), rep.Quads,
-			rep.CheckpointWriteMS, rep.CheckpointRestoreMS, rep.TailRecords, rep.ReplayMS)
+			rep.CheckpointWriteMS, rep.CheckpointRestoreMS, rep.TextRestoreMS, rep.RestoreSpeedup,
+			rep.TailRecords, rep.ReplayMS, rep.IncrCheckpointMS, rep.DeltaBytes)
 		return
 	}
 

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -325,9 +326,10 @@ func runTraverse(args []string) error {
 	return nil
 }
 
-// openStore builds a store from -restore (a snapshot), -data (an RDF
-// file) or neither (empty with the given indexes), in that precedence —
-// the shared serve/snapshot start-up path.
+// openStore builds a store from -restore (a snapshot, binary or text —
+// auto-detected), -data (an RDF file) or neither (empty with the given
+// indexes), in that precedence — the shared serve/snapshot start-up
+// path.
 func openStore(data, restore, indexes string) (*store.Store, error) {
 	switch {
 	case restore != "":
@@ -336,7 +338,7 @@ func openStore(data, restore, indexes string) (*store.Store, error) {
 			return nil, err
 		}
 		defer f.Close()
-		return store.Restore(f)
+		return store.RestoreAny(f)
 	case data != "":
 		return loadStore(data, indexes)
 	default:
@@ -355,7 +357,11 @@ func runSnapshot(args []string) error {
 	dataDir := fs.String("data-dir", "", "durability directory to recover (checkpoint + WAL tail)")
 	indexes := fs.String("indexes", "PCSGM,PSCGM,SPCGM,GSPCM", "comma-separated semantic network indexes (ignored with -restore/-data-dir)")
 	out := fs.String("o", "-", "output snapshot file (- = stdout)")
+	format := fs.String("format", "text", "snapshot format: text (N-Quads interchange) or binary (checkpoint codec, fast restore)")
 	fs.Parse(args)
+	if *format != "text" && *format != "binary" {
+		return fmt.Errorf("unknown snapshot format %q; want text or binary", *format)
+	}
 
 	var st *store.Store
 	var err error
@@ -385,24 +391,38 @@ func runSnapshot(args []string) error {
 		defer f.Close()
 		w = f
 	}
-	if err := st.Snapshot(w); err != nil {
+	if *format == "binary" {
+		bw := bufio.NewWriterSize(w, 1<<20)
+		if err := st.SnapshotBinary(bw); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	} else if err := st.Snapshot(w); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "snapshot of %d quads across %d model(s) written\n", st.Len(), len(st.Models()))
+	fmt.Fprintf(os.Stderr, "%s snapshot of %d quads across %d model(s) written\n", *format, st.Len(), len(st.Models()))
 	return nil
 }
 
 // runCheckpoint asks a running pgrdf serve -data-dir instance to
 // checkpoint now (POST /checkpoint): snapshot the store and truncate
-// the write-ahead log.
+// the write-ahead log. With -incremental the server folds the log into
+// a small delta file instead of rewriting the full snapshot.
 func runCheckpoint(args []string) error {
 	fs := flag.NewFlagSet("checkpoint", flag.ExitOnError)
 	addr := fs.String("addr", "localhost:3030", "address of the running pgrdf serve instance")
 	timeout := fs.Duration("timeout", 10*time.Minute, "how long to wait for the checkpoint to complete")
+	incremental := fs.Bool("incremental", false, "fold the log into a delta file instead of a full snapshot")
 	fs.Parse(args)
 
+	target := "http://" + *addr + "/checkpoint"
+	if *incremental {
+		target += "?mode=incremental"
+	}
 	cl := &http.Client{Timeout: *timeout}
-	resp, err := cl.Post("http://"+*addr+"/checkpoint", "", nil)
+	resp, err := cl.Post(target, "", nil)
 	if err != nil {
 		return err
 	}
@@ -439,7 +459,7 @@ func runServe(args []string) error {
 	dataDir := fs.String("data-dir", "", "durability directory: recover on start, journal every update, checkpoint on demand (empty = in-memory only)")
 	fsync := fs.String("fsync", "always", "WAL fsync policy: always, interval or off")
 	fsyncInterval := fs.Duration("fsync-interval", 100*time.Millisecond, "fsync period under -fsync interval")
-	checkpointEvery := fs.Duration("checkpoint-every", 0, "background checkpoint period (0 = only POST /checkpoint)")
+	checkpointEvery := fs.Duration("checkpoint-every", 0, "background incremental checkpoint period (0 = only POST /checkpoint)")
 	follow := fs.String("follow", "", "replicate from a leader URL (e.g. http://leader:3030); the endpoint serves read-only queries")
 	maxStaleness := fs.Duration("max-staleness", 0, "with -follow: fail reads with 503 once the leader has been unreachable this long (0 = serve stale reads forever)")
 	degradedAfter := fs.Duration("degraded-after", 15*time.Second, "with -follow: leader-contact age at which /stats reports degraded")

@@ -10,6 +10,7 @@ import (
 func bad(l *wal.Log, b wal.Batch) {
 	l.Commit(b, nil)     // want "Log.Commit error discarded"
 	l.Checkpoint(nil)    // want "Log.Checkpoint error discarded"
+	l.CheckpointIncremental(nil) // want "Log.CheckpointIncremental error discarded"
 	l.Sync()             // want "Log.Sync error discarded"
 	_ = l.Sync()         // want "Log.Sync error assigned to _"
 	defer l.Sync()       // want "Log.Sync error discarded by defer"
@@ -21,6 +22,9 @@ func good(l *wal.Log, b wal.Batch) error {
 		return fmt.Errorf("commit: %w", err)
 	}
 	if err := l.Checkpoint(nil); err != nil {
+		return err
+	}
+	if err := l.CheckpointIncremental(nil); err != nil {
 		return err
 	}
 	err := l.Sync()

@@ -35,7 +35,7 @@ var Walerr = &Analyzer{
 // repl package itself — exactly where the apply/ack chain lives.
 var walerrMethods = map[string]map[string]map[string]bool{
 	walPkg: {
-		"Log":    {"Commit": true, "Checkpoint": true, "Sync": true},
+		"Log":    {"Commit": true, "Checkpoint": true, "CheckpointIncremental": true, "Sync": true},
 		"Writer": {"Append": true, "Sync": true},
 	},
 	replPkg: {

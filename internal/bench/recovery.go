@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/pgrdf"
@@ -18,7 +19,10 @@ import (
 	"repro/internal/wal"
 )
 
-// RecoveryReport is the payload of BENCH_recovery.json.
+// RecoveryReport is the payload of BENCH_recovery.json. The unprefixed
+// checkpoint columns measure the default binary format; the text_
+// columns measure the legacy N-Quads format over the same store, and
+// RestoreSpeedup is the ratio between their restore times.
 type RecoveryReport struct {
 	// Dataset shape.
 	Quads       int   `json:"quads"`
@@ -28,11 +32,25 @@ type RecoveryReport struct {
 	CheckpointBytes int64 `json:"checkpoint_bytes"`
 	WalBytes        int64 `json:"wal_bytes"`
 
-	// Phase timings.
+	// Phase timings (binary checkpoint format).
 	CheckpointWriteMS   float64 `json:"checkpoint_write_ms"`
 	CheckpointRestoreMS float64 `json:"checkpoint_restore_ms"`
 	TotalRecoveryMS     float64 `json:"total_recovery_ms"`
 	ReplayMS            float64 `json:"replay_ms"`
+
+	// Legacy text format over the same store, and the ratio of text to
+	// binary restore time.
+	TextCheckpointBytes   int64   `json:"text_checkpoint_bytes"`
+	TextCheckpointWriteMS float64 `json:"text_checkpoint_write_ms"`
+	TextRestoreMS         float64 `json:"text_restore_ms"`
+	RestoreSpeedup        float64 `json:"restore_speedup"`
+
+	// Incremental checkpoint of the replayed tail: fold+publish time,
+	// delta size on disk, and a full recovery (base restore + delta
+	// replay) with the folded tail.
+	IncrCheckpointMS float64 `json:"incr_checkpoint_ms"`
+	DeltaBytes       int64   `json:"delta_bytes"`
+	IncrRecoveryMS   float64 `json:"incr_recovery_ms"`
 
 	// Derived rates.
 	RestoreQuadsPerSec float64 `json:"restore_quads_per_sec"`
@@ -78,8 +96,15 @@ func RecoveryBench(ctx context.Context, quadTarget int, tailRecords int) (*Recov
 
 	rep := &RecoveryReport{TailRecords: int64(tailRecords)}
 
-	// Load and checkpoint. SyncOff: the bench measures recovery, not
-	// fsync latency, and keeps CI runtime flat across disk types.
+	// Load and checkpoint in both formats. SyncOff: the bench measures
+	// recovery, not fsync latency, and keeps CI runtime flat across
+	// disk types. The text leg checkpoints the same loaded store into a
+	// sibling directory so both formats snapshot identical data.
+	textDir, err := os.MkdirTemp("", "pgrdf-recoverybench-text-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(textDir)
 	err = withLog(dir, func(st *store.Store, l *wal.Log) error {
 		if _, err := pgrdf.LoadPartitioned(st, ds, "pg"); err != nil {
 			return err
@@ -91,7 +116,16 @@ func RecoveryBench(ctx context.Context, quadTarget int, tailRecords int) (*Recov
 		}
 		rep.CheckpointWriteMS = msSince(start)
 		rep.CheckpointBytes = l.Stats().LastCheckpointBytes
-		return nil
+
+		return withTextLog(textDir, func(_ *store.Store, tl *wal.Log) error {
+			start := time.Now()
+			if err := tl.Checkpoint(st); err != nil {
+				return fmt.Errorf("recoverybench: text checkpoint: %w", err)
+			}
+			rep.TextCheckpointWriteMS = msSince(start)
+			rep.TextCheckpointBytes = tl.Stats().LastCheckpointBytes
+			return nil
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -102,7 +136,11 @@ func RecoveryBench(ctx context.Context, quadTarget int, tailRecords int) (*Recov
 
 	// Phase 1: reopen with an empty log — pure checkpoint restore —
 	// then journal the tail: single-insert commits into the node-KV
-	// partition, exactly what the serve path writes per update.
+	// partition, exactly what the serve path writes per update. The GC
+	// runs before every timed open so one leg's garbage (a whole store
+	// image per snapshot or restore) is not collected on another leg's
+	// clock.
+	runtime.GC()
 	start := time.Now()
 	err = withLog(dir, func(st *store.Store, l *wal.Log) error {
 		rep.CheckpointRestoreMS = msSince(start)
@@ -136,6 +174,7 @@ func RecoveryBench(ctx context.Context, quadTarget int, tailRecords int) (*Recov
 	}
 
 	// Phase 2: reopen with the tail — restore + replay.
+	runtime.GC()
 	start = time.Now()
 	st2, l2, err := wal.Open(dir, wal.Options{Sync: wal.SyncOff, Indexes: recoveryIndexes})
 	if err != nil {
@@ -150,6 +189,52 @@ func RecoveryBench(ctx context.Context, quadTarget int, tailRecords int) (*Recov
 		return nil, fmt.Errorf("recoverybench: recovered %d quads, want %d", st2.Len(), want)
 	}
 
+	// Phase 3: fold the replayed tail into a delta file, then recover
+	// once more — base restore plus delta replay.
+	start = time.Now()
+	if err := l2.CheckpointIncremental(st2); err != nil {
+		return nil, fmt.Errorf("recoverybench: incremental checkpoint: %w", err)
+	}
+	rep.IncrCheckpointMS = msSince(start)
+	ws := l2.Stats()
+	rep.DeltaBytes = ws.DeltaChainBytes
+	if ws.IncrementalCheckpoints != 1 || ws.DeltaChainLen != 1 {
+		return nil, fmt.Errorf("recoverybench: incremental checkpoint stats: %+v", ws)
+	}
+	if err := l2.Close(); err != nil {
+		return nil, err
+	}
+	runtime.GC()
+	start = time.Now()
+	err = withLog(dir, func(st *store.Store, _ *wal.Log) error {
+		rep.IncrRecoveryMS = msSince(start)
+		if want := rep.Quads + tailRecords; st.Len() != want {
+			return fmt.Errorf("recoverybench: incremental recovery got %d quads, want %d", st.Len(), want)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Text leg last: its restore is an order of magnitude slower than
+	// every binary phase, so it gets the tail of the run.
+	runtime.GC()
+	start = time.Now()
+	err = withTextLog(textDir, func(st *store.Store, _ *wal.Log) error {
+		rep.TextRestoreMS = msSince(start)
+		if st.Len() != rep.Quads {
+			return fmt.Errorf("recoverybench: text restore got %d quads, want %d", st.Len(), rep.Quads)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	rep.ReplayMS = rep.TotalRecoveryMS - rep.CheckpointRestoreMS
 	if rep.ReplayMS < 0 {
 		rep.ReplayMS = 0
@@ -160,6 +245,9 @@ func RecoveryBench(ctx context.Context, quadTarget int, tailRecords int) (*Recov
 	if rep.ReplayMS > 0 {
 		rep.ReplayRecsPerSec = float64(tailRecords) / (rep.ReplayMS / 1000)
 	}
+	if rep.CheckpointRestoreMS > 0 {
+		rep.RestoreSpeedup = rep.TextRestoreMS / rep.CheckpointRestoreMS
+	}
 	return rep, nil
 }
 
@@ -167,6 +255,21 @@ func RecoveryBench(ctx context.Context, quadTarget int, tailRecords int) (*Recov
 // fn, and closes the log on every path, surfacing the close error.
 func withLog(dir string, fn func(*store.Store, *wal.Log) error) (err error) {
 	st, l, err := wal.Open(dir, wal.Options{Sync: wal.SyncOff, Indexes: recoveryIndexes})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := l.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return fn(st, l)
+}
+
+// withTextLog is withLog with the legacy text checkpoint format — the
+// comparison leg of the bench.
+func withTextLog(dir string, fn func(*store.Store, *wal.Log) error) (err error) {
+	st, l, err := wal.Open(dir, wal.Options{Sync: wal.SyncOff, Indexes: recoveryIndexes, TextCheckpoints: true})
 	if err != nil {
 		return err
 	}

@@ -41,7 +41,9 @@ func batchOf(muts []sparql.Mutation) wal.Batch {
 
 // handleCheckpoint snapshots the store and truncates the log. Updates
 // block for the duration; the response reports the checkpoint size and
-// wall time.
+// wall time. ?mode=incremental folds the log into a delta file instead
+// of rewriting the full snapshot (the log may promote it to a full
+// checkpoint per its chain policy — the response says which happened).
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeJSONError(w, http.StatusMethodNotAllowed, "method", "method not allowed")
@@ -52,12 +54,25 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 			"server is running without a data directory; start with -data-dir to enable checkpoints")
 		return
 	}
-	if err := s.wal.Checkpoint(s.engine().Store()); err != nil {
+	var err error
+	switch mode := r.URL.Query().Get("mode"); mode {
+	case "", "full":
+		err = s.wal.Checkpoint(s.engine().Store())
+	case "incremental":
+		err = s.wal.CheckpointIncremental(s.engine().Store())
+	default:
+		writeJSONError(w, http.StatusBadRequest, "bad-mode",
+			fmt.Sprintf("unknown checkpoint mode %q; want full or incremental", mode))
+		return
+	}
+	if err != nil {
 		writeJSONError(w, http.StatusInternalServerError, "checkpoint", err.Error())
 		return
 	}
 	st := s.wal.Stats()
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, `{"checkpointBytes":%d,"durationSeconds":%g,"walBytes":%d,"walRecords":%d}`+"\n",
-		st.LastCheckpointBytes, st.LastCheckpointDuration.Seconds(), st.WalBytes, st.WalRecords)
+	fmt.Fprintf(w, `{"checkpointBytes":%d,"durationSeconds":%g,"walBytes":%d,"walRecords":%d,`+
+		`"checkpointFormat":%q,"fullCheckpoints":%d,"incrementalCheckpoints":%d,"deltaChainLen":%d,"deltaChainBytes":%d}`+"\n",
+		st.LastCheckpointBytes, st.LastCheckpointDuration.Seconds(), st.WalBytes, st.WalRecords,
+		st.CheckpointFormat, st.FullCheckpoints, st.IncrementalCheckpoints, st.DeltaChainLen, st.DeltaChainBytes)
 }

@@ -118,6 +118,63 @@ func TestCheckpointEndpoint(t *testing.T) {
 	}
 }
 
+// TestCheckpointIncrementalEndpoint drives ?mode=incremental: after a
+// full binary checkpoint, an incremental request folds the log into a
+// delta file instead of rewriting the snapshot.
+func TestCheckpointIncrementalEndpoint(t *testing.T) {
+	srv, h, _, _ := walServer(t)
+	postUpdate(t, srv, "m", `INSERT DATA { <http://pg/v1> <http://pg/k/name> "Amy" }`)
+
+	resp, err := http.Post(srv.URL+"/checkpoint", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("full checkpoint status %d", resp.StatusCode)
+	}
+
+	postUpdate(t, srv, "m", `INSERT DATA { <http://pg/v2> <http://pg/k/name> "Bob" }`)
+	resp, err = http.Post(srv.URL+"/checkpoint?mode=incremental", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("incremental checkpoint status %d", resp.StatusCode)
+	}
+	var out struct {
+		WalRecords             int64  `json:"walRecords"`
+		CheckpointFormat       string `json:"checkpointFormat"`
+		FullCheckpoints        int64  `json:"fullCheckpoints"`
+		IncrementalCheckpoints int64  `json:"incrementalCheckpoints"`
+		DeltaChainLen          int64  `json:"deltaChainLen"`
+		DeltaChainBytes        int64  `json:"deltaChainBytes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.WalRecords != 0 || out.CheckpointFormat != "binary" ||
+		out.FullCheckpoints != 1 || out.IncrementalCheckpoints != 1 ||
+		out.DeltaChainLen != 1 || out.DeltaChainBytes == 0 {
+		t.Fatalf("incremental checkpoint response: %+v", out)
+	}
+	if ws := h.wal.Stats(); ws.Checkpoints != 2 || ws.IncrementalCheckpoints != 1 {
+		t.Fatalf("wal stats after incremental checkpoint: %+v", ws)
+	}
+
+	// An unknown mode is a 400, not a checkpoint.
+	resp, err = http.Post(srv.URL+"/checkpoint?mode=sideways", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "bad-mode") {
+		t.Fatalf("mode=sideways status %d: %s", resp.StatusCode, body)
+	}
+}
+
 func TestCheckpointWithoutWALIs409(t *testing.T) {
 	srv := testServer(t)
 	resp, err := http.Post(srv.URL+"/checkpoint", "", nil)
@@ -194,7 +251,8 @@ func TestStatsAndMetricsExposeWAL(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, k := range []string{"walBytes", "walRecords", "walSeq", "checkpoints", "replayedRecords", "tornBytesDropped"} {
+	for _, k := range []string{"walBytes", "walRecords", "walSeq", "checkpoints", "replayedRecords", "tornBytesDropped",
+		"checkpointFormat", "fullCheckpoints", "incrementalCheckpoints", "deltaChainLen", "deltaChainBytes"} {
 		if _, ok := stats[k]; !ok {
 			t.Errorf("/stats lacks %q: %v", k, stats)
 		}
@@ -211,7 +269,9 @@ func TestStatsAndMetricsExposeWAL(t *testing.T) {
 	resp.Body.Close()
 	for _, want := range []string{
 		"pgrdf_wal_bytes ", "pgrdf_wal_records 1", "pgrdf_checkpoint_total 0",
+		"pgrdf_checkpoint_full_total 0", "pgrdf_checkpoint_incremental_total 0",
 		"pgrdf_checkpoint_errors_total 0", "pgrdf_checkpoint_last_bytes 0",
+		"pgrdf_checkpoint_delta_chain_len 0", "pgrdf_checkpoint_delta_chain_bytes 0",
 		"pgrdf_checkpoint_last_duration_seconds 0",
 	} {
 		if !strings.Contains(string(body), want) {

@@ -27,37 +27,43 @@ func (e *SyntaxError) Error() string {
 
 // Reader is a streaming N-Quads parser. N-Triples documents parse as
 // N-Quads whose quads are all in the default graph.
+//
+// Lines are streamed through a bufio.Reader rather than a Scanner:
+// one multi-megabyte literal is a legal (and, via store snapshots, an
+// actually-occurring) single line, and a Scanner would fail it with
+// bufio.ErrTooLong at its buffer cap instead of parsing it.
 type Reader struct {
-	sc   *bufio.Scanner
+	br   *bufio.Reader
 	line int
 }
 
 // NewReader returns a parser reading from r.
 func NewReader(r io.Reader) *Reader {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	return &Reader{sc: sc}
+	return &Reader{br: bufio.NewReaderSize(r, 64*1024)}
 }
 
 // Read returns the next quad, or io.EOF at end of input. Blank lines and
 // comment lines (starting with '#') are skipped.
 func (r *Reader) Read() (rdf.Quad, error) {
-	for r.sc.Scan() {
+	for {
+		raw, rerr := r.br.ReadString('\n')
+		if rerr != nil && !errors.Is(rerr, io.EOF) {
+			return rdf.Quad{}, rerr
+		}
+		atEOF := errors.Is(rerr, io.EOF)
+		if raw == "" && atEOF {
+			return rdf.Quad{}, io.EOF
+		}
 		r.line++
-		line := strings.TrimSpace(r.sc.Text())
+		line := strings.TrimSpace(raw)
 		if line == "" || strings.HasPrefix(line, "#") {
+			if atEOF {
+				return rdf.Quad{}, io.EOF
+			}
 			continue
 		}
-		q, err := r.parseLine(line)
-		if err != nil {
-			return rdf.Quad{}, err
-		}
-		return q, nil
+		return r.parseLine(line)
 	}
-	if err := r.sc.Err(); err != nil {
-		return rdf.Quad{}, err
-	}
-	return rdf.Quad{}, io.EOF
 }
 
 // ReadAll consumes the remaining input and returns all quads.

@@ -90,6 +90,29 @@ func (d *Dict) Term(id ID) rdf.Term {
 	return d.terms[id-1]
 }
 
+// snapshotTerms returns a stable view of all interned terms in ID
+// order (index i holds the term for ID i+1). The returned slice is a
+// capped view of the append-only terms table: existing entries are
+// never mutated, so the view stays valid after the lock is released.
+func (d *Dict) snapshotTerms() []rdf.Term {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.terms[:len(d.terms):len(d.terms)]
+}
+
+// newDictFromTerms rebuilds a dictionary whose ID assignment is
+// exactly terms[i] -> ID(i+1) — the bulk path binary-snapshot restore
+// uses instead of re-interning term by term.
+func newDictFromTerms(terms []rdf.Term) *Dict {
+	d := &Dict{byKey: make(map[string]ID, len(terms)), terms: terms}
+	for i, t := range terms {
+		key := t.String()
+		d.byKey[key] = ID(i + 1)
+		d.lexLen += int64(len(key))
+	}
+	return d
+}
+
 // Len returns the number of distinct terms interned.
 func (d *Dict) Len() int {
 	d.mu.RLock()

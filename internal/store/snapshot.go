@@ -2,6 +2,7 @@ package store
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -26,53 +27,68 @@ import (
 //
 // The format stays a valid N-Quads document (comments are ignored by
 // plain N-Quads parsers), so snapshots double as ordinary exports.
+//
+// Model and virtual-model names appearing in directives are
+// percent-escaped (see escapeName): the directive grammar reserves
+// ',', " = " and line structure, and an unescaped name containing
+// those would silently mis-restore. Names without reserved bytes are
+// written verbatim, so snapshots of ordinary stores are unchanged and
+// old snapshots (which never escaped) parse identically.
+//
+// The text format is the interchange format (/export?format=snapshot,
+// pgrdf snapshot). Durability checkpoints use the binary format in
+// binsnap.go, which restores an order of magnitude faster; Restore
+// here remains the decoder for text snapshots and plain N-Quads.
 
 const snapshotHeader = "# pgrdf-snapshot v1"
 
 // Snapshot writes the whole store (all models, virtual model
 // definitions and index configuration) to w.
+//
+// The entire dump is taken under one read-lock acquisition, so the
+// result is a point-in-time view: a snapshot can never contain half of
+// a concurrent update, a virtual-model directive out of step with the
+// model sections, or quads from different models at different times.
+// Writers block until the dump completes (the streaming /export cursor
+// is the surface for lock-free exports).
 func (s *Store) Snapshot(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.snapshotLocked(w)
+}
+
+//pgrdf:locks mu
+func (s *Store) snapshotLocked(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintln(bw, snapshotHeader); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(bw, "# indexes %s\n", strings.Join(s.Indexes(), ",")); err != nil {
+	specs := make([]string, len(s.indexes))
+	for i, ix := range s.indexes {
+		specs[i] = ix.perm.String()
+	}
+	if _, err := fmt.Fprintf(bw, "# indexes %s\n", strings.Join(specs, ",")); err != nil {
 		return err
 	}
 
-	s.mu.RLock()
-	type vdef struct {
-		name    string
-		members []string
-	}
-	var vdefs []vdef
-	for name, ids := range s.virtual {
-		var members []string
-		for _, id := range ids {
-			members = append(members, s.modelNames[id-1])
-		}
-		vdefs = append(vdefs, vdef{name: name, members: members})
-	}
-	s.mu.RUnlock()
 	// s.virtual is a map; sort so equal stores snapshot to equal bytes
 	// (crash recovery is verified by byte-comparing snapshots).
-	sort.Slice(vdefs, func(i, j int) bool { return vdefs[i].name < vdefs[j].name })
-	for _, v := range vdefs {
-		if _, err := fmt.Fprintf(bw, "# virtual %s = %s\n", v.name, strings.Join(v.members, ",")); err != nil {
+	for _, v := range s.virtualDefsLocked() {
+		escaped := make([]string, len(v.members))
+		for i, m := range v.members {
+			escaped[i] = escapeName(m)
+		}
+		if _, err := fmt.Fprintf(bw, "# virtual %s = %s\n", escapeName(v.name), strings.Join(escaped, ",")); err != nil {
 			return err
 		}
 	}
 
-	for _, model := range s.Models() {
-		if _, err := fmt.Fprintf(bw, "# model %s\n", model); err != nil {
-			return err
-		}
-		quads, err := s.Export(model)
-		if err != nil {
+	for i, model := range s.modelNames {
+		if _, err := fmt.Fprintf(bw, "# model %s\n", escapeName(model)); err != nil {
 			return err
 		}
 		nw := ntriples.NewWriter(bw)
-		for _, q := range quads {
+		for _, q := range s.exportLocked(ModelID(i + 1)) {
 			if err := nw.Write(q); err != nil {
 				return err
 			}
@@ -84,20 +100,141 @@ func (s *Store) Snapshot(w io.Writer) error {
 	return bw.Flush()
 }
 
+// vdef is one virtual-model definition with member names resolved.
+type vdef struct {
+	name    string
+	members []string
+}
+
+// virtualDefsLocked resolves the virtual-model table to names, sorted
+// by virtual-model name for deterministic serialization.
+//
+//pgrdf:locks mu
+func (s *Store) virtualDefsLocked() []vdef {
+	vdefs := make([]vdef, 0, len(s.virtual))
+	for name, ids := range s.virtual {
+		members := make([]string, len(ids))
+		for i, id := range ids {
+			members[i] = s.modelNames[id-1]
+		}
+		vdefs = append(vdefs, vdef{name: name, members: members})
+	}
+	sort.Slice(vdefs, func(i, j int) bool { return vdefs[i].name < vdefs[j].name })
+	return vdefs
+}
+
+// exportLocked materializes one model's quads in the deterministic
+// lexical order Export promises.
+//
+//pgrdf:locks mu
+func (s *Store) exportLocked(m ModelID) []rdf.Quad {
+	p := AnyPattern()
+	p.M = m
+	var quads []rdf.Quad
+	s.scanLocked(p, func(q IDQuad) bool {
+		quads = append(quads, s.quadTerms(q))
+		return true
+	})
+	sort.Slice(quads, func(i, j int) bool { return rdf.CompareQuads(quads[i], quads[j]) < 0 })
+	return quads
+}
+
+// escapeName percent-escapes a model or virtual-model name for use in
+// a snapshot directive. The directive grammar reserves ',' (member
+// separator), '=' (the " = " definition separator), '#' (comment
+// lead-in), '%' (the escape itself) and all whitespace/control bytes
+// (line structure, and Restore trims surrounding space). Every other
+// byte — including multi-byte UTF-8 — passes through, so ordinary
+// names are unchanged.
+func escapeName(s string) string {
+	if !nameNeedsEscape(s) {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if nameByteReserved(c) {
+			b.WriteByte('%')
+			b.WriteByte(hexUpper[c>>4])
+			b.WriteByte(hexUpper[c&0xF])
+		} else {
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+const hexUpper = "0123456789ABCDEF"
+
+func nameNeedsEscape(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if nameByteReserved(s[i]) {
+			return true
+		}
+	}
+	return false
+}
+
+// nameByteReserved reports whether a byte must be escaped in directive
+// names. 0x7F..0xFF are escaped too: Restore trims any unicode
+// whitespace around names, so a name beginning with U+00A0 would
+// otherwise round-trip wrong, and escaping all high bytes keeps the
+// rule byte-local (no UTF-8 decoding of possibly invalid names).
+func nameByteReserved(c byte) bool {
+	return c <= 0x20 || c >= 0x7F || c == '%' || c == ',' || c == '=' || c == '#'
+}
+
+// unescapeName reverses escapeName. Decoding is lenient: a '%' not
+// followed by two hex digits is kept literally, so names from old
+// snapshots (written unescaped) round-trip even when they contain '%'.
+func unescapeName(s string) string {
+	if !strings.Contains(s, "%") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '%' && i+2 < len(s) {
+			hi, okHi := unhex(s[i+1])
+			lo, okLo := unhex(s[i+2])
+			if okHi && okLo {
+				b.WriteByte(hi<<4 | lo)
+				i += 2
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+func unhex(c byte) (byte, bool) {
+	switch {
+	case '0' <= c && c <= '9':
+		return c - '0', true
+	case 'A' <= c && c <= 'F':
+		return c - 'A' + 10, true
+	case 'a' <= c && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
+}
+
 // Restore rebuilds a store from a snapshot. Index configuration and
 // virtual models are restored from the directives; a plain N-Quads file
 // (no directives) restores into a single model named "data" with the
 // default indexes.
+//
+// Lines are streamed through a bufio.Reader rather than a Scanner, so
+// a single long line — one multi-megabyte literal is enough — cannot
+// fail the restore with a buffer-cap error the way Snapshot's
+// unbounded writer side could produce it.
 func Restore(r io.Reader) (*Store, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	br := bufio.NewReaderSize(r, 64*1024)
 
 	var st *Store
 	indexes := DefaultIndexes
-	type vdef struct {
-		name    string
-		members []string
-	}
 	var virtuals []vdef
 	model := "data"
 	var pending []rdf.Quad
@@ -120,12 +257,20 @@ func Restore(r io.Reader) (*Store, error) {
 		return nil
 	}
 
-	for sc.Scan() {
+	for {
+		raw, rerr := br.ReadString('\n')
+		if rerr != nil && !errors.Is(rerr, io.EOF) {
+			return nil, rerr
+		}
+		atEOF := errors.Is(rerr, io.EOF)
+		if raw == "" && atEOF {
+			break
+		}
 		line++
-		text := strings.TrimSpace(sc.Text())
+		text := strings.TrimSpace(raw)
 		switch {
 		case text == "" || text == snapshotHeader:
-			continue
+			// skip
 		case strings.HasPrefix(text, "# indexes "):
 			if st != nil {
 				return nil, fmt.Errorf("store: line %d: indexes directive after data", line)
@@ -137,16 +282,23 @@ func Restore(r io.Reader) (*Store, error) {
 			if !ok {
 				return nil, fmt.Errorf("store: line %d: malformed virtual directive", line)
 			}
-			virtuals = append(virtuals, vdef{name: name, members: strings.Split(members, ",")})
-		case strings.HasPrefix(text, "# model "):
+			v := vdef{name: unescapeName(name)}
+			for _, m := range strings.Split(members, ",") {
+				v.members = append(v.members, unescapeName(m))
+			}
+			virtuals = append(virtuals, v)
+		case strings.HasPrefix(text, "# model ") || text == "# model":
 			if err := flush(); err != nil {
 				return nil, err
 			}
-			model = strings.TrimPrefix(text, "# model ")
+			model = unescapeName(strings.TrimPrefix(text, "# model "))
+			if text == "# model" {
+				model = "" // empty name: the trailing space was trimmed away
+			}
 			// Register even if the model ends up empty.
 			st.Model(model)
 		case strings.HasPrefix(text, "#"):
-			continue // ordinary comment
+			// ordinary comment
 		default:
 			quads, err := ntriples.NewReader(strings.NewReader(text)).ReadAll()
 			if err != nil {
@@ -164,9 +316,9 @@ func Restore(r io.Reader) (*Store, error) {
 				}
 			}
 		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
+		if atEOF {
+			break
+		}
 	}
 	if err := flush(); err != nil {
 		return nil, err

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/pgrdf"
@@ -57,11 +58,39 @@ type crashRef struct {
 	snapshot []byte
 }
 
+// crashFormats parametrizes the crash matrix over both checkpoint
+// formats: the binary default and the legacy text snapshot.
+var crashFormats = map[string]bool{"binary": false, "text": true}
+
+// readCheckpointFiles captures every published checkpoint artifact in
+// dir — full checkpoint (either format) and incremental deltas — so a
+// crash point can be materialized byte-for-byte in a fresh directory.
+func readCheckpointFiles(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := make(map[string][]byte)
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "checkpoint.") || name == "checkpoint.tmp" {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[name] = b
+	}
+	return files
+}
+
 // runWorkload executes the scripted updates against a WAL-backed engine
 // (optionally seeding + checkpointing first) and returns the checkpoint
-// bytes (nil if none), the final log bytes, and the per-commit
+// files (empty if none), the final log bytes, and the per-commit
 // references. refs[0] is the pre-workload state at boundary 0.
-func runWorkload(t *testing.T, opts wal.Options, seed func(st *store.Store), updates []upd) (ckpt, log []byte, refs []crashRef) {
+func runWorkload(t *testing.T, opts wal.Options, seed func(st *store.Store), updates []upd) (ckptFiles map[string][]byte, log []byte, refs []crashRef) {
 	t.Helper()
 	dir := t.TempDir()
 	st, l, err := wal.Open(dir, opts)
@@ -87,9 +116,7 @@ func runWorkload(t *testing.T, opts wal.Options, seed func(st *store.Store), upd
 	if err := l.Sync(); err != nil {
 		t.Fatal(err)
 	}
-	if b, err := os.ReadFile(filepath.Join(dir, "checkpoint.nq")); err == nil {
-		ckpt = b
-	}
+	ckptFiles = readCheckpointFiles(t, dir)
 	log, err = os.ReadFile(filepath.Join(dir, "wal.log"))
 	if err != nil {
 		t.Fatal(err)
@@ -97,16 +124,16 @@ func runWorkload(t *testing.T, opts wal.Options, seed func(st *store.Store), upd
 	if got := refs[len(refs)-1].boundary; got != int64(len(log)) {
 		t.Fatalf("final boundary %d != log size %d", got, len(log))
 	}
-	return ckpt, log, refs
+	return ckptFiles, log, refs
 }
 
 // crashAt materializes the on-disk state a crash at byte c would leave
 // and verifies recovery lands exactly on the last durably framed commit.
-func crashAt(t *testing.T, c int64, ckpt, log []byte, refs []crashRef) {
+func crashAt(t *testing.T, c int64, ckptFiles map[string][]byte, log []byte, refs []crashRef) {
 	t.Helper()
 	dir := t.TempDir()
-	if ckpt != nil {
-		if err := os.WriteFile(filepath.Join(dir, "checkpoint.nq"), ckpt, 0o644); err != nil {
+	for name, b := range ckptFiles {
+		if err := os.WriteFile(filepath.Join(dir, name), b, 0o644); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -188,10 +215,67 @@ func TestCrashRecoveryEveryByteFig1(t *testing.T) {
 
 // TestCrashRecoveryCheckpointPlusTailFig1 takes a mid-workload
 // checkpoint and crashes through the tail, so recovery exercises
-// checkpoint restore + partial replay together.
+// checkpoint restore + partial replay together — for both checkpoint
+// formats.
 func TestCrashRecoveryCheckpointPlusTailFig1(t *testing.T) {
+	for format, text := range crashFormats {
+		t.Run(format, func(t *testing.T) {
+			updates := fig1Updates()
+			half := len(updates) / 2
+
+			dir := t.TempDir()
+			st, l, err := wal.Open(dir, wal.Options{Sync: wal.SyncAlways, TextCheckpoints: text})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			eng := sparql.NewEngine(st)
+			attach(eng, l)
+			for i := 0; i < half; i++ {
+				if _, err := eng.Update(updates[i].model, updates[i].req); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := l.Checkpoint(st); err != nil {
+				t.Fatal(err)
+			}
+			refs := []crashRef{{boundary: 0, snapshot: snap(t, st)}}
+			for i := half; i < len(updates); i++ {
+				if _, err := eng.Update(updates[i].model, updates[i].req); err != nil {
+					t.Fatal(err)
+				}
+				refs = append(refs, crashRef{boundary: l.Stats().WalBytes, snapshot: snap(t, st)})
+			}
+			if err := l.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			ckptFiles := readCheckpointFiles(t, dir)
+			wantName := "checkpoint.bin"
+			if text {
+				wantName = "checkpoint.nq"
+			}
+			if _, ok := ckptFiles[wantName]; !ok || len(ckptFiles) != 1 {
+				t.Fatalf("checkpoint files = %v, want exactly %s", ckptFiles, wantName)
+			}
+			log, err := os.ReadFile(filepath.Join(dir, "wal.log"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for c := int64(0); c <= int64(len(log)); c++ {
+				crashAt(t, c, ckptFiles, log, refs)
+			}
+		})
+	}
+}
+
+// TestCrashRecoveryIncrementalChain builds a delta chain mid-workload
+// (full checkpoint, then two incremental folds with commits between),
+// then crashes at every byte of the remaining log — recovery replays
+// base + delta 1 + delta 2 + tail. It also pins the publish-without-
+// truncate crash window: a delta plus the very log it folded replays
+// idempotently to the same state.
+func TestCrashRecoveryIncrementalChain(t *testing.T) {
 	updates := fig1Updates()
-	half := len(updates) / 2
 
 	dir := t.TempDir()
 	st, l, err := wal.Open(dir, wal.Options{Sync: wal.SyncAlways})
@@ -201,16 +285,63 @@ func TestCrashRecoveryCheckpointPlusTailFig1(t *testing.T) {
 	defer l.Close()
 	eng := sparql.NewEngine(st)
 	attach(eng, l)
-	for i := 0; i < half; i++ {
-		if _, err := eng.Update(updates[i].model, updates[i].req); err != nil {
-			t.Fatal(err)
+	run := func(from, to int) {
+		t.Helper()
+		for i := from; i < to; i++ {
+			if _, err := eng.Update(updates[i].model, updates[i].req); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
-	if err := l.Checkpoint(st); err != nil {
+	run(0, 2)
+	if err := l.Checkpoint(st); err != nil { // the full binary base
 		t.Fatal(err)
 	}
-	refs := []crashRef{{boundary: 0, snapshot: snap(t, st)}}
-	for i := half; i < len(updates); i++ {
+	run(2, 4)
+	if err := l.CheckpointIncremental(st); err != nil { // delta 1
+		t.Fatal(err)
+	}
+
+	// The publish-without-truncate window: capture the log that delta 2
+	// will fold, then the post-fold checkpoint files, and replay both
+	// together — the on-disk state of a crash between the delta rename
+	// and the log truncation.
+	run(4, 6)
+	foldedLog, err := os.ReadFile(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.CheckpointIncremental(st); err != nil { // delta 2
+		t.Fatal(err)
+	}
+	wantMid := snap(t, st)
+	midFiles := readCheckpointFiles(t, dir)
+	if _, ok := midFiles["checkpoint.delta.000002"]; !ok {
+		t.Fatalf("no second delta after two incremental checkpoints: %v", midFiles)
+	}
+	for name, logBytes := range map[string][]byte{"clean": nil, "unfolded log": foldedLog} {
+		dir2 := t.TempDir()
+		for fname, b := range midFiles {
+			if err := os.WriteFile(filepath.Join(dir2, fname), b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := os.WriteFile(filepath.Join(dir2, "wal.log"), logBytes, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st2, l2, err := wal.Open(dir2, wal.Options{Sync: wal.SyncOff})
+		if err != nil {
+			t.Fatalf("%s: recovery failed: %v", name, err)
+		}
+		if got := snap(t, st2); !bytes.Equal(got, wantMid) {
+			t.Fatalf("%s: recovered snapshot diverges from the post-fold state", name)
+		}
+		l2.Close()
+	}
+
+	// Tail commits after the chain, crashed at every byte.
+	refs := []crashRef{{boundary: 0, snapshot: wantMid}}
+	for i := 6; i < len(updates); i++ {
 		if _, err := eng.Update(updates[i].model, updates[i].req); err != nil {
 			t.Fatal(err)
 		}
@@ -219,16 +350,15 @@ func TestCrashRecoveryCheckpointPlusTailFig1(t *testing.T) {
 	if err := l.Sync(); err != nil {
 		t.Fatal(err)
 	}
-	ckpt, err := os.ReadFile(filepath.Join(dir, "checkpoint.nq"))
-	if err != nil {
-		t.Fatal(err)
-	}
 	log, err := os.ReadFile(filepath.Join(dir, "wal.log"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for c := int64(0); c <= int64(len(log)); c++ {
-		crashAt(t, c, ckpt, log, refs)
+		crashAt(t, c, midFiles, log, refs)
+	}
+	if ws := l.Stats(); ws.IncrementalCheckpoints != 2 || ws.FullCheckpoints != 1 || ws.DeltaChainLen != 2 {
+		t.Fatalf("chain stats: %+v", ws)
 	}
 }
 
@@ -258,26 +388,31 @@ func TestCrashRecoveryTwitterSample(t *testing.T) {
 		{"pg", fmt.Sprintf(`DELETE WHERE { <http://pg/v1> %s ?v }`, name)},
 		{"pg_nodekv", fmt.Sprintf(`DELETE DATA { <http://pg/v2> %s "dummy" }`, name)},
 	}
-	ckpt, log, refs := runWorkload(t, wal.Options{
-		Sync:    wal.SyncAlways,
-		Indexes: []string{"PCSGM", "PSCGM", "GSPCM"},
-	}, seed, updates)
-	if ckpt == nil {
-		t.Fatal("no checkpoint written for the seeded store")
-	}
-	// Crash points: around every record boundary, plus each midpoint.
-	points := map[int64]struct{}{0: {}, int64(len(log)): {}}
-	for i := 1; i < len(refs); i++ {
-		b := refs[i].boundary
-		prev := refs[i-1].boundary
-		for _, c := range []int64{b - 1, b, b + 1, prev + (b-prev)/2} {
-			if c >= 0 && c <= int64(len(log)) {
-				points[c] = struct{}{}
+	for format, text := range crashFormats {
+		t.Run(format, func(t *testing.T) {
+			ckptFiles, log, refs := runWorkload(t, wal.Options{
+				Sync:            wal.SyncAlways,
+				Indexes:         []string{"PCSGM", "PSCGM", "GSPCM"},
+				TextCheckpoints: text,
+			}, seed, updates)
+			if len(ckptFiles) == 0 {
+				t.Fatal("no checkpoint written for the seeded store")
 			}
-		}
-	}
-	for c := range points {
-		crashAt(t, c, ckpt, log, refs)
+			// Crash points: around every record boundary, plus each midpoint.
+			points := map[int64]struct{}{0: {}, int64(len(log)): {}}
+			for i := 1; i < len(refs); i++ {
+				b := refs[i].boundary
+				prev := refs[i-1].boundary
+				for _, c := range []int64{b - 1, b, b + 1, prev + (b-prev)/2} {
+					if c >= 0 && c <= int64(len(log)) {
+						points[c] = struct{}{}
+					}
+				}
+			}
+			for c := range points {
+				crashAt(t, c, ckptFiles, log, refs)
+			}
+		})
 	}
 }
 

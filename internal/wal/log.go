@@ -2,7 +2,9 @@ package wal
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -14,9 +16,10 @@ import (
 )
 
 const (
-	checkpointFile = "checkpoint.nq"
-	checkpointTmp  = "checkpoint.tmp"
-	logFile        = "wal.log"
+	checkpointBinFile = "checkpoint.bin"
+	checkpointFile    = "checkpoint.nq"
+	checkpointTmp     = "checkpoint.tmp"
+	logFile           = "wal.log"
 )
 
 // Log is the durability unit for one data directory: a checkpoint
@@ -50,10 +53,25 @@ type Log struct {
 	//pgrdf:guardedby mu
 	wake chan struct{}
 
+	// Delta-chain root (DESIGN.md §16): the CRC of the binary full
+	// checkpoint new deltas extend. haveBase is false when the base is
+	// missing or text-format — incremental requests then promote to a
+	// full checkpoint.
+
+	//pgrdf:guardedby mu
+	baseCRC uint32
+	//pgrdf:guardedby mu
+	haveBase bool
+
 	checkpoints      atomic.Int64
 	checkpointErrors atomic.Int64
+	fullCkpts        atomic.Int64
+	incrCkpts        atomic.Int64
 	lastCkptBytes    atomic.Int64
 	lastCkptNanos    atomic.Int64
+	lastFullBytes    atomic.Int64
+	chainLen         atomic.Int64
+	chainBytes       atomic.Int64
 	replayed         int64 // fixed at Open
 	tornDropped      int64 // fixed at Open
 
@@ -79,7 +97,15 @@ func Open(dir string, opts Options) (*store.Store, *Log, error) {
 		return nil, nil, fmt.Errorf("wal: remove stale checkpoint tmp: %w", err)
 	}
 
-	st, err := openCheckpoint(dir, opts)
+	st, baseCRC, haveBase, fullBytes, err := openCheckpoint(dir, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Replay the incremental delta chain (if any) over the base before
+	// the log tail: base → delta 1..N → wal.log is commit order.
+	chainLen, chainBytes, err := loadDeltas(dir, baseCRC, haveBase, func(b Batch) error {
+		return replayBatch(st, b)
+	})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -93,7 +119,10 @@ func Open(dir string, opts Options) (*store.Store, *Log, error) {
 		return nil, nil, fmt.Errorf("wal: open log: %w", err)
 	}
 	l := &Log{dir: dir, opts: opts, done: make(chan struct{}),
-		replID: meta.ID, epoch: meta.Epoch}
+		replID: meta.ID, epoch: meta.Epoch, baseCRC: baseCRC, haveBase: haveBase}
+	l.lastFullBytes.Store(fullBytes)
+	l.chainLen.Store(int64(chainLen))
+	l.chainBytes.Store(chainBytes)
 	records := int64(0)
 	firstSeq := uint64(0)
 	good, lastSeq, err := readRecords(bufio.NewReaderSize(f, 1<<20), func(seq uint64, b Batch) error {
@@ -154,33 +183,53 @@ func Open(dir string, opts Options) (*store.Store, *Log, error) {
 	return st, l, nil
 }
 
-// openCheckpoint restores the checkpoint snapshot, or builds a fresh
-// store when none exists yet.
-func openCheckpoint(dir string, opts Options) (*store.Store, error) {
+// openCheckpoint restores the checkpoint, or builds a fresh store when
+// none exists yet. The binary checkpoint is preferred when both formats
+// are on disk (a full checkpoint removes the other format's file, so
+// both only coexist inside a crash window where the binary one is the
+// newer). It also reports the binary file's CRC — the root the delta
+// chain is validated against — and its size (the incremental path's
+// full-vs-chain cost comparison).
+func openCheckpoint(dir string, opts Options) (st *store.Store, baseCRC uint32, haveBase bool, fullBytes int64, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, checkpointBinFile))
+	if err == nil {
+		st, rerr := store.RestoreBinary(data)
+		if rerr != nil {
+			// The checkpoint exists but cannot be decoded. Failing loudly
+			// is the only safe answer: opening a fresh store here would
+			// serve (and eventually re-checkpoint) an empty dataset over
+			// data the operator believes is durable.
+			return nil, 0, false, 0, fmt.Errorf("%w: restore %s: %v", ErrCheckpointCorrupt, checkpointBinFile, rerr)
+		}
+		return st, crc32.ChecksumIEEE(data), true, int64(len(data)), nil
+	}
+	if !os.IsNotExist(err) {
+		return nil, 0, false, 0, fmt.Errorf("wal: open checkpoint: %w", err)
+	}
+
 	f, err := os.Open(filepath.Join(dir, checkpointFile))
 	if os.IsNotExist(err) {
 		if len(opts.Indexes) == 0 {
-			return store.New(), nil
+			return store.New(), 0, false, 0, nil
 		}
 		st, err := store.NewWithIndexes(opts.Indexes)
 		if err != nil {
-			return nil, fmt.Errorf("wal: index config: %w", err)
+			return nil, 0, false, 0, fmt.Errorf("wal: index config: %w", err)
 		}
-		return st, nil
+		return st, 0, false, 0, nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("wal: open checkpoint: %w", err)
+		return nil, 0, false, 0, fmt.Errorf("wal: open checkpoint: %w", err)
 	}
 	defer f.Close()
-	st, err := store.Restore(bufio.NewReaderSize(f, 1<<20))
+	// RestoreAny sniffs the magic, so a binary snapshot parked under the
+	// text name (hand-copied backups) still restores; only a named .bin
+	// file can root a delta chain, though.
+	st, err = store.RestoreAny(bufio.NewReaderSize(f, 1<<20))
 	if err != nil {
-		// The checkpoint exists but cannot be parsed. Failing loudly is
-		// the only safe answer: opening a fresh store here would serve
-		// (and eventually re-checkpoint) an empty dataset over data the
-		// operator believes is durable.
-		return nil, fmt.Errorf("%w: restore %s: %v", ErrCheckpointCorrupt, checkpointFile, err)
+		return nil, 0, false, 0, fmt.Errorf("%w: restore %s: %v", ErrCheckpointCorrupt, checkpointFile, err)
 	}
-	return st, nil
+	return st, 0, false, 0, nil
 }
 
 // replayBatch applies one journaled batch to the store during
@@ -218,21 +267,58 @@ func (l *Log) Sync() error { return l.w.Sync() }
 // SetFaultInjector installs a fault injector on the underlying writer.
 func (l *Log) SetFaultInjector(fi *FaultInjector) { l.w.SetFaultInjector(fi) }
 
-// Checkpoint atomically snapshots st into the checkpoint file and
-// truncates the log. Commits block for the duration (seconds for
-// multi-million-quad stores); the background checkpointer trades that
-// pause for bounded recovery time. On any failure the previous
-// checkpoint and the full log remain authoritative.
+// Checkpoint atomically snapshots st into the checkpoint file (binary
+// by default, text under Options.TextCheckpoints) and truncates the
+// log. Commits block for the duration; the background checkpointer
+// trades that pause for bounded recovery time. On any failure the
+// previous checkpoint chain and the full log remain authoritative.
 func (l *Log) Checkpoint(st *store.Store) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.runCheckpointLocked(st, false)
+}
+
+// CheckpointIncremental folds the live log into one delta file of the
+// current checkpoint chain instead of rewriting the full store, and
+// truncates the log — the background checkpointer's default. It
+// promotes itself to a full Checkpoint when a delta cannot extend the
+// chain (text format configured, no binary base yet, chain at its
+// length cap, or chain bytes past half the base — recovery replay cost
+// has caught up with a rewrite). An empty log is a no-op: the chain
+// already covers every commit.
+func (l *Log) CheckpointIncremental(st *store.Store) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.w.Records() == 0 {
+		return nil
+	}
+	chainOK := l.chainBytes.Load()*2 <= l.lastFullBytes.Load() ||
+		l.chainBytes.Load() < minDeltaChainBytes
+	incremental := !l.opts.TextCheckpoints && l.haveBase &&
+		l.chainLen.Load() < maxDeltaChain && chainOK
+	return l.runCheckpointLocked(st, incremental)
+}
+
+//pgrdf:locks mu
+func (l *Log) runCheckpointLocked(st *store.Store, incremental bool) error {
 	start := time.Now()
-	bytes, err := l.checkpointLocked(st)
+	var bytes int64
+	var err error
+	if incremental {
+		bytes, err = l.deltaCheckpointLocked()
+	} else {
+		bytes, err = l.checkpointLocked(st)
+	}
 	if err != nil {
 		l.checkpointErrors.Add(1)
 		return err
 	}
 	l.checkpoints.Add(1)
+	if incremental {
+		l.incrCkpts.Add(1)
+	} else {
+		l.fullCkpts.Add(1)
+	}
 	l.lastCkptBytes.Store(bytes)
 	l.lastCkptNanos.Store(time.Since(start).Nanoseconds())
 	return nil
@@ -245,16 +331,30 @@ func (l *Log) checkpointLocked(st *store.Store) (int64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("wal: create checkpoint tmp: %w", err)
 	}
-	bw := bufio.NewWriterSize(f, 1<<20)
-	if err := st.Snapshot(bw); err != nil {
-		f.Close()
-		os.Remove(tmpPath)
-		return 0, fmt.Errorf("wal: snapshot: %w", err)
-	}
-	if err := bw.Flush(); err != nil {
-		f.Close()
-		os.Remove(tmpPath)
-		return 0, fmt.Errorf("wal: flush checkpoint: %w", err)
+	binary := !l.opts.TextCheckpoints
+	target := checkpointBinFile
+	var crc uint32
+	if binary {
+		tee := &crcTee{w: f}
+		if err := st.SnapshotBinary(tee); err != nil {
+			f.Close()
+			os.Remove(tmpPath)
+			return 0, fmt.Errorf("wal: snapshot: %w", err)
+		}
+		crc = tee.crc
+	} else {
+		target = checkpointFile
+		bw := bufio.NewWriterSize(f, 1<<20)
+		if err := st.Snapshot(bw); err != nil {
+			f.Close()
+			os.Remove(tmpPath)
+			return 0, fmt.Errorf("wal: snapshot: %w", err)
+		}
+		if err := bw.Flush(); err != nil {
+			f.Close()
+			os.Remove(tmpPath)
+			return 0, fmt.Errorf("wal: flush checkpoint: %w", err)
+		}
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
@@ -269,11 +369,102 @@ func (l *Log) checkpointLocked(st *store.Store) (int64, error) {
 		os.Remove(tmpPath)
 		return 0, fmt.Errorf("wal: close checkpoint tmp: %w", err)
 	}
-	if err := os.Rename(tmpPath, filepath.Join(l.dir, checkpointFile)); err != nil {
+	if err := os.Rename(tmpPath, filepath.Join(l.dir, target)); err != nil {
 		os.Remove(tmpPath)
 		return 0, fmt.Errorf("wal: publish checkpoint: %w", err)
 	}
 	syncDir(l.dir) // make the rename itself durable (best effort)
+	// The full file supersedes the other format and every delta. This
+	// must precede the truncation: if a removal fails, aborting here
+	// leaves the untruncated log, and recovery over the new full file
+	// plus the whole log is idempotent (stale deltas are detected by
+	// their base CRC and removed on open).
+	if err := removeSuperseded(l.dir, binary); err != nil {
+		return 0, err
+	}
+	if err := l.advanceEpochAndTruncateLocked(); err != nil {
+		return 0, err
+	}
+	l.haveBase = binary
+	l.baseCRC = crc
+	l.lastFullBytes.Store(size)
+	l.chainLen.Store(0)
+	l.chainBytes.Store(0)
+	return size, nil
+}
+
+// deltaCheckpointLocked folds the live log into the next delta file of
+// the current chain and truncates the log.
+//
+//pgrdf:locks mu
+func (l *Log) deltaCheckpointLocked() (int64, error) {
+	raw, err := l.w.readAll()
+	if err != nil {
+		return 0, fmt.Errorf("wal: read log for fold: %w", err)
+	}
+	var batches []Batch
+	firstSeq := uint64(0)
+	good, _, err := readRecords(bytes.NewReader(raw), func(seq uint64, b Batch) error {
+		if len(batches) == 0 {
+			firstSeq = seq
+		}
+		batches = append(batches, b)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if good != int64(len(raw)) {
+		// The live log only ever holds fully framed records (torn tails
+		// exist only after a crash, and Open truncated those).
+		return 0, fmt.Errorf("wal: log tail undecodable at offset %d during fold", good)
+	}
+	index := uint32(l.chainLen.Load()) + 1
+	data, err := encodeDelta(l.baseCRC, index, foldOps(batches), firstSeq)
+	if err != nil {
+		return 0, err
+	}
+	tmpPath := filepath.Join(l.dir, checkpointTmp)
+	f, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("wal: create delta tmp: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmpPath)
+		return 0, fmt.Errorf("wal: write delta: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmpPath)
+		return 0, fmt.Errorf("wal: sync delta: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmpPath)
+		return 0, fmt.Errorf("wal: close delta tmp: %w", err)
+	}
+	if err := os.Rename(tmpPath, filepath.Join(l.dir, deltaName(index))); err != nil {
+		os.Remove(tmpPath)
+		return 0, fmt.Errorf("wal: publish delta: %w", err)
+	}
+	syncDir(l.dir)
+	// Crash window: the delta is published but the log not yet
+	// truncated. Recovery then replays both — idempotent, because the
+	// fold is last-op-wins per (model, quad) and re-applying the same
+	// tail converges to the same state.
+	if err := l.advanceEpochAndTruncateLocked(); err != nil {
+		return 0, err
+	}
+	l.chainLen.Add(1)
+	l.chainBytes.Add(int64(len(data)))
+	return int64(len(data)), nil
+}
+
+// advanceEpochAndTruncateLocked is the shared tail of every checkpoint
+// flavor: persist the epoch bump, then drop the log.
+//
+//pgrdf:locks mu
+func (l *Log) advanceEpochAndTruncateLocked() error {
 	// Advance the replication epoch before truncating: a follower must
 	// never read post-truncation bytes under a pre-truncation epoch.
 	// If the meta write fails the checkpoint is still valid (replaying
@@ -281,18 +472,18 @@ func (l *Log) checkpointLocked(st *store.Store) (int64, error) {
 	// aborts the truncation.
 	nextSeq := l.w.Seq()
 	if err := writeReplMeta(l.dir, replMeta{ID: l.replID, Epoch: l.epoch + 1, NextSeq: nextSeq}); err != nil {
-		return 0, err
+		return err
 	}
 	l.epoch++
 	l.epochStartSeq = nextSeq
-	// The snapshot now covers every logged commit; drop the log.
+	// The checkpoint chain now covers every logged commit; drop the log.
 	if err := l.w.reset(); err != nil {
-		return 0, fmt.Errorf("wal: truncate log after checkpoint: %w", err)
+		return fmt.Errorf("wal: truncate log after checkpoint: %w", err)
 	}
 	// Wake tailers so they observe the epoch change promptly instead of
 	// at their next poll timeout.
 	l.wakeLocked()
-	return size, nil
+	return nil
 }
 
 // syncDir fsyncs a directory so a just-renamed file survives a crash.
@@ -307,7 +498,10 @@ func syncDir(dir string) {
 	d.Close()
 }
 
-// StartCheckpointer checkpoints st every interval until Close.
+// StartCheckpointer checkpoints st every interval until Close. Ticks
+// take the incremental path, so a mostly-idle store pays a few
+// kilobytes of delta per cycle instead of a full rewrite; the chain
+// caps promote a tick to a full checkpoint when it grows too long.
 func (l *Log) StartCheckpointer(st *store.Store, every time.Duration) {
 	if every <= 0 {
 		return
@@ -323,7 +517,7 @@ func (l *Log) StartCheckpointer(st *store.Store, every time.Duration) {
 				return
 			case <-t.C:
 				//pgrdfvet:ignore walerr -- failure is counted in Stats.CheckpointErrors and the next tick retries
-				l.Checkpoint(st)
+				l.CheckpointIncremental(st)
 			}
 		}
 	}()
@@ -346,6 +540,10 @@ func (l *Log) syncLoop(every time.Duration) {
 
 // Stats returns a point-in-time view of the log.
 func (l *Log) Stats() Stats {
+	format := "binary"
+	if l.opts.TextCheckpoints {
+		format = "text"
+	}
 	return Stats{
 		WalBytes:               l.w.Bytes(),
 		WalRecords:             l.w.Records(),
@@ -356,6 +554,11 @@ func (l *Log) Stats() Stats {
 		LastCheckpointDuration: time.Duration(l.lastCkptNanos.Load()),
 		ReplayedRecords:        l.replayed,
 		TornBytesDropped:       l.tornDropped,
+		CheckpointFormat:       format,
+		FullCheckpoints:        l.fullCkpts.Load(),
+		IncrementalCheckpoints: l.incrCkpts.Load(),
+		DeltaChainLen:          l.chainLen.Load(),
+		DeltaChainBytes:        l.chainBytes.Load(),
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -208,9 +209,14 @@ func TestBeginSnapshotBlocksCommits(t *testing.T) {
 // never recover into an empty store over data the operator believes is
 // durable.
 func TestOpenCorruptCheckpoint(t *testing.T) {
-	corruptions := map[string]func(data []byte) []byte{
-		// A quad line damaged mid-file: parse failure.
-		"garbled line": func(data []byte) []byte {
+	type corruption struct {
+		text    bool
+		file    string
+		corrupt func(data []byte) []byte
+	}
+	corruptions := map[string]corruption{
+		// Text format: a quad line damaged mid-file (parse failure).
+		"text garbled line": {text: true, file: checkpointFile, corrupt: func(data []byte) []byte {
 			i := bytes.Index(data, []byte("\n<"))
 			if i < 0 {
 				panic("no quad line found in checkpoint")
@@ -218,31 +224,59 @@ func TestOpenCorruptCheckpoint(t *testing.T) {
 			out := append([]byte(nil), data...)
 			copy(out[i+1:], "<<not an n-quad>>")
 			return out
-		},
-		// Truncation mid-line: the scanner's final partial line fails
-		// to parse.
-		"truncated mid-line": func(data []byte) []byte {
+		}},
+		// Text format: truncation mid-line (final partial line fails to
+		// parse).
+		"text truncated mid-line": {text: true, file: checkpointFile, corrupt: func(data []byte) []byte {
 			return data[:len(data)-len("/p> \"x\" .\n")]
-		},
+		}},
+		// Binary format: a flipped payload byte fails its section CRC.
+		"binary bit flip": {file: checkpointBinFile, corrupt: func(data []byte) []byte {
+			out := append([]byte(nil), data...)
+			out[len(out)/2] ^= 0x40
+			return out
+		}},
+		// Binary format: a torn tail loses the trailer.
+		"binary truncated": {file: checkpointBinFile, corrupt: func(data []byte) []byte {
+			return data[:len(data)-7]
+		}},
+		// Binary format: corrupt incremental delta header.
+		"delta header damage": {file: "checkpoint.delta.000001", corrupt: func(data []byte) []byte {
+			out := append([]byte(nil), data...)
+			out[10] ^= 0x01
+			return out
+		}},
+		// Binary format: torn frame inside a published delta. Deltas are
+		// published atomically, so a short frame is damage, not a crash
+		// artifact.
+		"delta torn frame": {file: "checkpoint.delta.000001", corrupt: func(data []byte) []byte {
+			return data[:len(data)-3]
+		}},
 	}
-	for name, corrupt := range corruptions {
+	for name, c := range corruptions {
 		t.Run(name, func(t *testing.T) {
 			dir := t.TempDir()
-			st, l := mustOpen(t, dir, Options{Sync: SyncAlways})
+			st, l := mustOpen(t, dir, Options{Sync: SyncAlways, TextCheckpoints: c.text})
 			commit(t, l, st,
 				insertOp("m", "http://a", "http://p", "x"),
 				insertOp("m", "http://b", "http://p", "x"))
 			if err := l.Checkpoint(st); err != nil {
 				t.Fatal(err)
 			}
+			if strings.HasPrefix(c.file, "checkpoint.delta.") {
+				commit(t, l, st, insertOp("m", "http://c", "http://p", "x"))
+				if err := l.CheckpointIncremental(st); err != nil {
+					t.Fatal(err)
+				}
+			}
 			l.Close()
 
-			path := filepath.Join(dir, checkpointFile)
+			path := filepath.Join(dir, c.file)
 			data, err := os.ReadFile(path)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := os.WriteFile(path, corrupt(data), 0o644); err != nil {
+			if err := os.WriteFile(path, c.corrupt(data), 0o644); err != nil {
 				t.Fatal(err)
 			}
 			st2, l2, err := Open(dir, Options{Sync: SyncAlways})

@@ -1,12 +1,17 @@
 // Package wal gives the in-memory quad store a life beyond the
 // process: a write-ahead log that journals every Update mutation,
-// background checkpoints in the sectioned-N-Quads snapshot format, and
-// replay-on-open crash recovery (DESIGN.md §12).
+// background checkpoints in the binary snapshot format, and
+// replay-on-open crash recovery (DESIGN.md §12, §16).
 //
-// The durability directory holds two files:
+// The durability directory holds:
 //
-//	checkpoint.nq — a store snapshot (store.Snapshot format)
-//	wal.log       — framed mutation records appended since the snapshot
+//	checkpoint.bin      — a full store snapshot (store.SnapshotBinary)
+//	checkpoint.delta.N  — incremental log folds since the full snapshot
+//	wal.log             — framed mutation records appended since the
+//	                      last checkpoint (full or incremental)
+//	checkpoint.nq       — the legacy text snapshot (store.Snapshot),
+//	                      written under Options.TextCheckpoints and
+//	                      auto-detected on open for old directories
 //
 // Commits are journaled log-first: the SPARQL engine publishes the quad
 // delta of each Update operation through its CommitHook, the log
@@ -76,6 +81,12 @@ type Options struct {
 	// a checkpoint exists — the snapshot carries the index config.
 	// Empty means store.DefaultIndexes.
 	Indexes []string
+	// TextCheckpoints writes checkpoints in the legacy sectioned-N-Quads
+	// text format instead of the binary format. Restores are an order of
+	// magnitude slower and incremental checkpoints are disabled (every
+	// CheckpointIncremental promotes to a full rewrite); the knob exists
+	// for interchange-format deployments and for differential testing.
+	TextCheckpoints bool
 }
 
 // OpKind tags one journaled mutation.
@@ -128,4 +139,17 @@ type Stats struct {
 	// bytes discarded as a torn or corrupt final record.
 	ReplayedRecords  int64
 	TornBytesDropped int64
+	// CheckpointFormat is the configured full-checkpoint format:
+	// "binary" (default) or "text" (Options.TextCheckpoints).
+	CheckpointFormat string
+	// FullCheckpoints and IncrementalCheckpoints split Checkpoints by
+	// flavor: full store rewrites vs delta folds of the log.
+	FullCheckpoints        int64
+	IncrementalCheckpoints int64
+	// DeltaChainLen and DeltaChainBytes describe the live incremental
+	// chain: how many delta files extend the full checkpoint, and their
+	// total size. Recovery replays the whole chain, so these bound the
+	// extra restart cost an incremental checkpoint saves at write time.
+	DeltaChainLen   int64
+	DeltaChainBytes int64
 }
