@@ -14,7 +14,7 @@ BENCH_SCALE ?= 0.05
 BENCH_MAX_OVERHEAD ?= 5
 OVERHEAD_ITERS ?= 5
 
-.PHONY: check vet lint lint-json build test race crash-recovery repl-fault bench bench-micro bench-smoke fuzz-smoke
+.PHONY: check vet lint lint-json build test race crash-recovery repl-fault bench bench-algos bench-algos-smoke bench-micro bench-smoke fuzz-smoke
 
 ## check: the full gate — vet, build, the pgrdfvet analyzers, the
 ## race-enabled test suite, the crash-recovery differential, and the
@@ -74,6 +74,21 @@ bench:
 ## when the aggregate overhead exceeds BENCH_MAX_OVERHEAD percent.
 bench-overhead:
 	$(GO) run ./cmd/benchpaper -profileoverhead -maxoverhead $(BENCH_MAX_OVERHEAD) -iters $(OVERHEAD_ITERS) -scale $(BENCH_SCALE) -out BENCH_profile_overhead.json
+
+## bench-algos: the graph-analytics comparison — CSR projection plus
+## PageRank / WCC / triangle counting, serial vs parallel, on all three
+## schemes — written to BENCH_algos.json. -require-cores refuses to
+## publish speedup numbers measured with fewer cores than workers; the
+## embedded fingerprints prove serial/parallel and cross-scheme results
+## were identical.
+bench-algos:
+	$(GO) run ./cmd/benchpaper -algobench -require-cores -workers $(BENCH_WORKERS) -iters $(BENCH_ITERS) -scale $(BENCH_SCALE) -out BENCH_algos.json
+
+## bench-algos-smoke: one-iteration algo bench at reduced scale (the CI
+## gate). No -require-cores: CI hosts publish whatever parallelism they
+## have, recorded in the report's gomaxprocs field.
+bench-algos-smoke:
+	$(GO) run ./cmd/benchpaper -algobench -workers $(BENCH_WORKERS) -iters 1 -scale 0.02 -out BENCH_algos.json
 
 ## bench-micro: row-vs-batch executor kernel microbenchmarks (scan,
 ## hash probe, nested loop, filter) plus the store-level batched scan

@@ -10,13 +10,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/graph"
 	"repro/internal/pg"
+	"repro/internal/pgrdf"
 	"repro/internal/twitter"
 )
 
@@ -82,6 +85,36 @@ func main() {
 	for i, r := range env.Graph.TopPageRank(3, pg.PageRankOptions{}) {
 		fmt.Printf("PageRank #%d: vertex %d (%.5f)\n", i+1, r.ID, r.Score)
 	}
+
+	// The same analytics straight off the RDF store: project the NG
+	// dataset into a CSR and run the morsel-parallel algorithms that
+	// `pgrdf algo` and POST /algo expose. Results are identical under
+	// any scheme and any parallelism (see DESIGN.md §17).
+	fmt.Println("\n== CSR analytics over the RDF store (pgrdf algo path) ==")
+	start = time.Now()
+	cs, err := graph.Project(context.Background(), env.NG.Store, graph.ProjectOptions{
+		Model:   env.NG.Names.All,
+		Scheme:  pgrdf.NG,
+		Reverse: true,
+	}, graph.Budget{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("projected %d vertices, %d edges in %s\n",
+		cs.NumVertices(), cs.NumEdges(), time.Since(start).Round(time.Microsecond))
+	runner := graph.Runner{}
+	pr, err := runner.PageRank(context.Background(), cs, graph.PageRankOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range graph.TopScores(cs, pr.Scores, 3) {
+		fmt.Printf("PageRank #%d: %s (%.5f)\n", i+1, r.Term, r.Score)
+	}
+	wcc, err := runner.WCC(context.Background(), cs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("weakly connected components: %d (matches the pg count above)\n", wcc.Components)
 }
 
 func runBoth(env *bench.Env, queries map[string]string, name, what string) {

@@ -32,6 +32,12 @@ func TestGuardtick(t *testing.T) {
 	RunTest(t, Guardtick, "testdata/src/guardtick", "repro/internal/sparql")
 }
 
+func TestGuardtickGraph(t *testing.T) {
+	// The analytics scope: the same testdata trick, posing as
+	// repro/internal/graph, where CSR adjacency reads are row sources.
+	RunTest(t, Guardtick, "testdata/src/guardtick_graph", "repro/internal/graph")
+}
+
 func TestIdsafe(t *testing.T) {
 	RunTest(t, Idsafe, "testdata/src/idsafe", "repro/internal/idsafetest")
 }

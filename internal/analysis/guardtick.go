@@ -25,9 +25,18 @@ import (
 // vectorized executor accumulates a pending count over a batch's rows
 // and settles it with one tickN per emitted batch (DESIGN.md §15),
 // which is budget-equivalent to per-row ticking.
+//
+// The same rule patrols repro/internal/graph, which has its own nilable
+// guard type with the same method names. There the row sources are the
+// store cursors the projection drains plus the CSR adjacency accessors
+// (Neighbors / InNeighbors and their weight twins) — the algorithm hot
+// loops. An algorithm phase that walks adjacency without ticking would
+// run a full iteration blind to cancellation, deadlines and MaxWork;
+// the morsel runner only polls between morsels, so the per-morsel edge
+// work must settle through tickN inside the same top-level function.
 var Guardtick = &Analyzer{
 	Name: "guardtick",
-	Doc:  "store scans inside internal/sparql must tick the query budget guard",
+	Doc:  "store scans and CSR hot loops must tick the budget guard",
 	Run:  runGuardtick,
 }
 
@@ -38,6 +47,15 @@ var rawScanMethods = map[string]map[string]bool{
 	"Cursor": {"NextBatch": true},
 }
 
+// csrRowMethods are internal/graph's hot-loop row sources: every CSR
+// adjacency read inside an algorithm phase stands in for a store scan.
+var csrRowMethods = map[string]bool{
+	"Neighbors": true, "NeighborWeights": true,
+	"InNeighbors": true, "InNeighborWeights": true,
+}
+
+const graphPkg = "repro/internal/graph"
+
 // guardMethods are the calls that count as "the guard is consulted".
 // tickN is the batch form used by parallel workers: one tickN(n) call
 // accounts for n rows, so a worker loop that batches its ticks is as
@@ -45,7 +63,7 @@ var rawScanMethods = map[string]map[string]bool{
 var guardMethods = map[string]bool{"tick": true, "tickN": true, "poll": true, "checkRows": true}
 
 func runGuardtick(pass *Pass) error {
-	if pass.Path != sparqlPkg {
+	if pass.Path != sparqlPkg && pass.Path != graphPkg {
 		return nil
 	}
 	for _, file := range pass.Files {
@@ -55,7 +73,7 @@ func runGuardtick(pass *Pass) error {
 				return true
 			}
 			recv, name, ok := methodCall(pass.Info, call)
-			if !ok || !isRawScan(recv, name) {
+			if !ok || !isRawScan(pass.Path, recv, name) {
 				return true
 			}
 			fd := outermostFunc(file, call.Pos())
@@ -69,13 +87,15 @@ func runGuardtick(pass *Pass) error {
 	return nil
 }
 
-func isRawScan(recv types.Type, name string) bool {
+func isRawScan(path string, recv types.Type, name string) bool {
 	for typeName, methods := range rawScanMethods {
 		if methods[name] && isNamedType(recv, storePkg, typeName) {
 			return true
 		}
 	}
-	return false
+	// Only internal/graph's own hot loops must tick on adjacency reads;
+	// consumers elsewhere (tests, reporting) read CSR rows freely.
+	return path == graphPkg && csrRowMethods[name] && isNamedType(recv, graphPkg, "CSR")
 }
 
 // ticksGuard reports whether fd contains a call to one of the guard

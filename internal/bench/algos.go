@@ -1,0 +1,204 @@
+package bench
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// algoBenchNames orders the graph algorithms in BENCH_algos.json.
+var algoBenchNames = []string{"pagerank", "wcc", "triangles"}
+
+// AlgoResult is one algorithm × scheme measurement: CSR projection time
+// plus serial (1 worker) vs parallel run time. Fingerprint is an FNV-64a
+// hash over the raw result bits (Float64bits of every PageRank score,
+// every WCC label, the triangle count); AlgoBench fails unless the
+// serial and parallel fingerprints match and every scheme of the same
+// property graph produces the same fingerprint, so a published report
+// is itself evidence of the determinism contract.
+type AlgoResult struct {
+	Algo        string  `json:"algo"`
+	Scheme      string  `json:"scheme"`
+	Vertices    int     `json:"vertices"`
+	Edges       int     `json:"edges"`
+	CSRBuildMS  float64 `json:"csr_build_ms"`
+	SerialMS    float64 `json:"serial_ms"`
+	ParallelMS  float64 `json:"parallel_ms"`
+	Speedup     float64 `json:"speedup"`
+	Iterations  int     `json:"iterations,omitempty"`
+	Components  int     `json:"components,omitempty"`
+	Triangles   int64   `json:"triangles,omitempty"`
+	Fingerprint string  `json:"fingerprint"`
+}
+
+// AlgoReport is the payload of BENCH_algos.json. As with
+// ParallelReport, speedups measured with GOMAXPROCS < workers are
+// scheduler noise, so GOMAXPROCS is recorded alongside the numbers.
+type AlgoReport struct {
+	Workers    int          `json:"workers"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Iters      int          `json:"iters"`
+	Results    []AlgoResult `json:"results"`
+}
+
+// AlgoBench projects the Twitter dataset into a CSR under every scheme
+// (NG, SP and the lazily loaded RF ablation) and times PageRank, WCC
+// and triangle counting serial vs parallel. Each leg is warmed once
+// implicitly by the fingerprint run, then timed iters times from a
+// collected heap; the median is reported.
+func AlgoBench(ctx context.Context, env *Env, workers, iters int) (*AlgoReport, error) {
+	if workers < 2 {
+		workers = 2
+	}
+	if iters < 1 {
+		iters = 1
+	}
+	rf, err := env.RFEnv()
+	if err != nil {
+		return nil, fmt.Errorf("algobench: loading RF scheme: %w", err)
+	}
+	rep := &AlgoReport{Workers: workers, GOMAXPROCS: runtime.GOMAXPROCS(0), Iters: iters}
+	// Cross-scheme acceptance: the same algorithm over the same property
+	// graph must fingerprint identically no matter which scheme encoded
+	// it or how many workers ran it.
+	crossFP := map[string]string{}
+	for _, se := range append(env.SchemeEnvs(), rf) {
+		var cs *graph.CSR
+		build, err := medianOf(iters, func() error {
+			c, perr := graph.Project(ctx, se.Store, graph.ProjectOptions{
+				Model:   se.Names.All,
+				Scheme:  se.Scheme,
+				Reverse: true,
+			}, graph.Budget{})
+			cs = c
+			return perr
+		})
+		if err != nil {
+			return nil, fmt.Errorf("algobench %s (project): %w", se.Scheme, err)
+		}
+		for _, algo := range algoBenchNames {
+			serial := graph.Runner{Parallelism: 1}
+			par := graph.Runner{Parallelism: workers}
+			sRun, err := runAlgoOnce(ctx, serial, cs, algo)
+			if err != nil {
+				return nil, fmt.Errorf("algobench %s/%s (serial): %w", se.Scheme, algo, err)
+			}
+			pRun, err := runAlgoOnce(ctx, par, cs, algo)
+			if err != nil {
+				return nil, fmt.Errorf("algobench %s/%s (parallel): %w", se.Scheme, algo, err)
+			}
+			if sRun.fp != pRun.fp {
+				return nil, fmt.Errorf("algobench %s/%s: serial fingerprint %s != parallel %s (determinism violation)",
+					se.Scheme, algo, sRun.fp, pRun.fp)
+			}
+			if want, ok := crossFP[algo]; !ok {
+				crossFP[algo] = sRun.fp
+			} else if want != sRun.fp {
+				return nil, fmt.Errorf("algobench %s/%s: fingerprint %s differs from other schemes' %s (projection divergence)",
+					se.Scheme, algo, sRun.fp, want)
+			}
+			sMed, err := medianOf(iters, func() error {
+				_, e := runAlgoOnce(ctx, serial, cs, algo)
+				return e
+			})
+			if err != nil {
+				return nil, fmt.Errorf("algobench %s/%s (serial timing): %w", se.Scheme, algo, err)
+			}
+			pMed, err := medianOf(iters, func() error {
+				_, e := runAlgoOnce(ctx, par, cs, algo)
+				return e
+			})
+			if err != nil {
+				return nil, fmt.Errorf("algobench %s/%s (parallel timing): %w", se.Scheme, algo, err)
+			}
+			rep.Results = append(rep.Results, AlgoResult{
+				Algo:        algo,
+				Scheme:      se.Scheme.String(),
+				Vertices:    cs.NumVertices(),
+				Edges:       cs.NumEdges(),
+				CSRBuildMS:  ms(build),
+				SerialMS:    ms(sMed),
+				ParallelMS:  ms(pMed),
+				Speedup:     speedup(sMed, pMed),
+				Iterations:  sRun.iterations,
+				Components:  sRun.components,
+				Triangles:   sRun.triangles,
+				Fingerprint: sRun.fp,
+			})
+		}
+	}
+	return rep, nil
+}
+
+// algoRun is one algorithm execution's identity: the result fingerprint
+// plus the scalar outputs worth publishing.
+type algoRun struct {
+	fp         string
+	iterations int
+	components int
+	triangles  int64
+}
+
+func runAlgoOnce(ctx context.Context, r graph.Runner, cs *graph.CSR, algo string) (algoRun, error) {
+	h := fnv.New64a()
+	var buf [8]byte
+	out := algoRun{}
+	switch algo {
+	case "pagerank":
+		res, err := r.PageRank(ctx, cs, graph.PageRankOptions{})
+		if err != nil {
+			return out, err
+		}
+		for _, s := range res.Scores {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(s))
+			h.Write(buf[:])
+		}
+		out.iterations = res.Iterations
+	case "wcc":
+		res, err := r.WCC(ctx, cs)
+		if err != nil {
+			return out, err
+		}
+		for _, l := range res.Labels {
+			binary.LittleEndian.PutUint32(buf[:4], l)
+			h.Write(buf[:4])
+		}
+		out.iterations = res.Iterations
+		out.components = res.Components
+	case "triangles":
+		res, err := r.Triangles(ctx, cs)
+		if err != nil {
+			return out, err
+		}
+		binary.LittleEndian.PutUint64(buf[:], uint64(res.Count))
+		h.Write(buf[:])
+		out.triangles = res.Count
+	default:
+		return out, fmt.Errorf("unknown algorithm %q", algo)
+	}
+	out.fp = fmt.Sprintf("%016x", h.Sum64())
+	return out, nil
+}
+
+// medianOf times iters runs of f from a collected heap and reports the
+// median (see medianRun for why the GC call is part of the protocol).
+func medianOf(iters int, f func() error) (time.Duration, error) {
+	durs := make([]time.Duration, 0, iters)
+	for i := 0; i < iters; i++ {
+		runtime.GC()
+		start := time.Now()
+		if err := f(); err != nil {
+			return 0, err
+		}
+		durs = append(durs, time.Since(start))
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	return durs[len(durs)/2], nil
+}

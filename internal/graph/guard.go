@@ -1,0 +1,205 @@
+package graph
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+)
+
+// Error kinds distinguishing why an algorithm run was aborted. Test with
+// errors.Is against the error returned by Project or the Runner.
+var (
+	// ErrTimeout: the context deadline (or Budget.Timeout) expired.
+	ErrTimeout = errors.New("algorithm deadline exceeded")
+	// ErrBudgetExceeded: the run touched more vertices/edges than its
+	// budget allows.
+	ErrBudgetExceeded = errors.New("algorithm work budget exceeded")
+	// ErrCanceled: the context was canceled by the caller.
+	ErrCanceled = errors.New("algorithm canceled")
+	// ErrInternal: the runtime recovered from an internal panic.
+	ErrInternal = errors.New("internal algorithm error")
+)
+
+// AlgoError is the structured error returned when a projection or an
+// algorithm run is stopped by a guardrail or an internal failure. Kind
+// is one of the sentinel errors above, exposed through errors.Is/Unwrap.
+type AlgoError struct {
+	Kind error
+	Msg  string
+	// Stack holds the recovered goroutine stack when Kind is
+	// ErrInternal; empty otherwise.
+	Stack string
+}
+
+func (e *AlgoError) Error() string {
+	if e.Msg == "" {
+		return "graph: " + e.Kind.Error()
+	}
+	return "graph: " + e.Msg
+}
+
+func (e *AlgoError) Unwrap() error { return e.Kind }
+
+// Budget bounds the resources one projection or algorithm run may
+// consume. The zero value imposes no limits.
+type Budget struct {
+	// Timeout is the wall-clock deadline applied when the caller's
+	// context does not already carry an earlier one. 0 = none.
+	Timeout time.Duration
+	// MaxWork caps the number of work units — quads drained during
+	// projection plus vertices and edges touched per iteration — the
+	// run may consume. 0 = unlimited.
+	MaxWork int64
+}
+
+// guardPollInterval is how many guard events pass between checks of the
+// context's done channel, keeping hot loops at one atomic add per
+// batch in the common case.
+const guardPollInterval = 256
+
+// guard enforces a Budget cooperatively. Projection ticks it once per
+// drained quad; algorithm workers tick it per batch of edges scanned
+// and poll it between morsels. The first violation latches into err and
+// every later tick/poll fails fast, so all workers unwind promptly. A
+// nil *guard is inert.
+//
+// All counters are atomic: one guard is shared by every worker of a
+// parallel run, so workers tick and poll concurrently without extra
+// locking. At Parallelism=1 the counters see exactly the serial
+// sequence of events, so budget semantics are parallelism-independent.
+type guard struct {
+	ctx     context.Context
+	maxWork int64
+	work    atomic.Int64
+	events  atomic.Uint64
+	err     atomic.Pointer[AlgoError]
+}
+
+// newGuard returns nil (no overhead) when the context can never fire
+// and the budget imposes no limit.
+func newGuard(ctx context.Context, b Budget) *guard {
+	if ctx.Done() == nil && b.MaxWork <= 0 {
+		return nil
+	}
+	return &guard{ctx: ctx, maxWork: b.MaxWork}
+}
+
+// fail latches the first violation; later racers lose the CAS and are
+// dropped, preserving the serial "first error wins" behavior.
+func (g *guard) fail(ae *AlgoError) {
+	g.err.CompareAndSwap(nil, ae)
+}
+
+// tickN records n work units at once — the batch form used by workers
+// so per-row accounting does not serialize them on the shared counter.
+// The context is still polled at every guardPollInterval boundary the
+// batch crosses. It reports false when the run must stop.
+func (g *guard) tickN(n int) bool {
+	if g == nil {
+		return true
+	}
+	if g.err.Load() != nil {
+		return false
+	}
+	if n <= 0 {
+		return true
+	}
+	total := g.work.Add(int64(n))
+	if g.maxWork > 0 && total > g.maxWork {
+		g.fail(&AlgoError{Kind: ErrBudgetExceeded,
+			Msg: fmt.Sprintf("run exceeded the budget of %d work units", g.maxWork)})
+		return false
+	}
+	return g.pollEvery(n)
+}
+
+// poll checks the context every guardPollInterval guard events. It
+// reports false when the run must stop.
+func (g *guard) poll() bool {
+	if g == nil {
+		return true
+	}
+	if g.err.Load() != nil {
+		return false
+	}
+	return g.pollEvery(1)
+}
+
+// pollEvery advances the event counter by n and checks the context's
+// done channel when the counter crosses a guardPollInterval boundary.
+func (g *guard) pollEvery(n int) bool {
+	now := g.events.Add(uint64(n))
+	if now/guardPollInterval == (now-uint64(n))/guardPollInterval {
+		return true
+	}
+	select {
+	case <-g.ctx.Done():
+		g.fail(ctxAlgoError(g.ctx.Err()))
+		return false
+	default:
+		return true
+	}
+}
+
+// Err returns the latched violation, if any.
+func (g *guard) Err() error {
+	if g == nil {
+		return nil
+	}
+	if ae := g.err.Load(); ae != nil {
+		return ae
+	}
+	return nil
+}
+
+func ctxAlgoError(err error) *AlgoError {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return &AlgoError{Kind: ErrTimeout}
+	}
+	return &AlgoError{Kind: ErrCanceled}
+}
+
+// startRun applies the Budget's timeout to ctx (unless the caller's
+// deadline is already earlier), pre-flights an already-dead context so
+// canceled calls fail deterministically before any work, and returns
+// the run's guard (which carries the derived context). cancel is never
+// nil on success.
+func startRun(ctx context.Context, b Budget) (context.CancelFunc, *guard, error) {
+	cancel := context.CancelFunc(func() {})
+	if b.Timeout > 0 {
+		if dl, ok := ctx.Deadline(); !ok || time.Until(dl) > b.Timeout {
+			ctx, cancel = context.WithTimeout(ctx, b.Timeout)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		cancel()
+		return nil, nil, ctxAlgoError(err)
+	}
+	return cancel, newGuard(ctx, b), nil
+}
+
+// recoverAlgoPanic converts a runtime panic into a structured
+// *AlgoError with kind ErrInternal, preserving the stack for
+// diagnostics. Deferred by every exported entry point so a corrupt
+// projection or injected fault degrades into an error, not a crash.
+func recoverAlgoPanic(err *error) {
+	if r := recover(); r != nil {
+		*err = &AlgoError{
+			Kind:  ErrInternal,
+			Msg:   fmt.Sprintf("internal error: %v", r),
+			Stack: string(debug.Stack()),
+		}
+	}
+}
+
+// finish resolves the final error of a run: an explicit error wins,
+// then a latched guard violation.
+func finish(g *guard, err error) error {
+	if err != nil {
+		return err
+	}
+	return g.Err()
+}

@@ -1,0 +1,425 @@
+package graph
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/pgrdf"
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// ProjectOptions selects which edge relation to extract from the store.
+type ProjectOptions struct {
+	// Model is a model or virtual-model name; "" means every model.
+	Model string
+	// Scheme is the PG-as-RDF model the dataset was transformed under.
+	// Use DetectScheme when the caller does not know.
+	Scheme pgrdf.Scheme
+	// Vocab controls the IRI namespaces; zero value = paper defaults.
+	Vocab pgrdf.Vocabulary
+	// Label restricts the projection to edges with this label (a rel:
+	// predicate local name); "" projects every relationship predicate.
+	Label string
+	// WeightKey names an edge property to project as the edge weight.
+	// Parallel identified edges sum their weights; an identified edge
+	// without the key weighs 1. "" projects an unweighted graph.
+	WeightKey string
+	// Reverse also builds the in-adjacency (required by PageRank).
+	Reverse bool
+}
+
+// vocabOrDefault fills in the paper's namespaces for a zero Vocabulary.
+func vocabOrDefault(v pgrdf.Vocabulary) pgrdf.Vocabulary {
+	if v == (pgrdf.Vocabulary{}) {
+		return pgrdf.DefaultVocabulary()
+	}
+	return v
+}
+
+// projector carries the per-run state of one projection: resolved
+// dictionary IDs, the scheme decoders' intermediate maps, and the
+// accumulating vertex/edge sets (all in store-ID space until the final
+// canonical renumbering).
+type projector struct {
+	st    *store.Store
+	dict  *store.Dict
+	guard *guard
+	opts  ProjectOptions
+
+	relNS   string
+	labelID store.ID // NoID when opts.Label == "" or label unknown
+	typeID, resourceID,
+	subjID, predID, objID,
+	spoID, weightID store.ID
+
+	isRel map[store.ID]bool // predicate ID -> is a rel: IRI
+
+	vertices map[store.ID]struct{}
+	edges    []idEdge
+
+	// RF join state: reified statement resource -> components.
+	rfSubj, rfObj, rfPred map[store.ID]store.ID
+	// SP state: edge predicate -> label predicate.
+	spLabel map[store.ID]store.ID
+	// Weight state: edge resource/predicate ID -> parsed weight.
+	weights map[store.ID]float64
+}
+
+// idEdge is an edge occurrence in store-ID space. edge is the edge
+// resource ID (reified statement, named graph, or subproperty
+// predicate) used for weight lookup; NoID for plain triples.
+type idEdge struct {
+	src, dst, edge store.ID
+}
+
+// Project extracts the edge relation selected by opts from a consistent
+// snapshot of the store and assembles it into a CSR. It honors ctx
+// cancellation and the budget; every drained quad costs one work unit.
+func Project(ctx context.Context, st *store.Store, opts ProjectOptions, b Budget) (cs *CSR, err error) {
+	defer recoverAlgoPanic(&err)
+	cancel, g, err := startRun(ctx, b)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+
+	models, err := st.ResolveDataset(opts.Model)
+	if err != nil {
+		return nil, &AlgoError{Kind: ErrInternal, Msg: err.Error()}
+	}
+	opts.Vocab = vocabOrDefault(opts.Vocab)
+
+	p := &projector{
+		st:       st,
+		dict:     st.Dict(),
+		guard:    g,
+		opts:     opts,
+		relNS:    opts.Vocab.RelNS,
+		isRel:    make(map[store.ID]bool),
+		vertices: make(map[store.ID]struct{}),
+		rfSubj:   make(map[store.ID]store.ID),
+		rfObj:    make(map[store.ID]store.ID),
+		rfPred:   make(map[store.ID]store.ID),
+		spLabel:  make(map[store.ID]store.ID),
+		weights:  make(map[store.ID]float64),
+	}
+	lookup := func(iri string) store.ID { return p.dict.Lookup(rdf.NewIRI(iri)) }
+	p.typeID = lookup(rdf.RDFType)
+	p.resourceID = lookup(rdf.RDFSResource)
+	p.subjID = lookup(rdf.RDFSubject)
+	p.predID = lookup(rdf.RDFPredicate)
+	p.objID = lookup(rdf.RDFObject)
+	p.spoID = lookup(rdf.RDFSSubPropertyOf)
+	if opts.Label != "" {
+		p.labelID = p.dict.Lookup(opts.Vocab.LabelIRI(opts.Label))
+	}
+	if opts.WeightKey != "" {
+		p.weightID = p.dict.Lookup(opts.Vocab.KeyIRI(opts.WeightKey))
+	}
+
+	for _, m := range models {
+		if !p.decodeModel(m) {
+			break
+		}
+	}
+	if err := finish(g, nil); err != nil {
+		return nil, err
+	}
+
+	return p.assemble(), nil
+}
+
+// decodeModel runs the plain-triple decoder, the scheme-specific
+// decoder, the isolated-vertex scan and the weight scan over one model.
+// It reports false when the guard tripped.
+func (p *projector) decodeModel(m store.ModelID) bool {
+	// Plain s-p-o edges in the default graph: the ExplicitSPO triples of
+	// RF/SP and the SingleTripleWhenNoKVs optimization of every scheme.
+	// Deduplication in buildCSR collapses them with their identified
+	// counterparts, so accepting them unconditionally keeps the
+	// projection correct across every Options combination.
+	anyP := store.Pattern{S: store.Any, P: store.Any, C: store.Any, G: store.NoID, M: store.ID(m)}
+	if p.opts.Label != "" {
+		if p.labelID == store.NoID {
+			// Unknown label IRI: no edge in any scheme can match, but
+			// isolated vertices are still part of the projection.
+			return p.scanIsolated(m)
+		}
+		anyP.P = p.labelID
+	}
+	ok := p.drain(anyP, func(q store.IDQuad) bool {
+		if q.P == p.spoID || !p.relPred(q.P) {
+			return true
+		}
+		p.addEdge(q.S, q.C, store.NoID)
+		return true
+	})
+	if !ok {
+		return false
+	}
+
+	switch p.opts.Scheme {
+	case pgrdf.RF:
+		ok = p.decodeRF(m)
+	case pgrdf.NG:
+		ok = p.decodeNG(m)
+	case pgrdf.SP:
+		ok = p.decodeSP(m)
+	}
+	if !ok {
+		return false
+	}
+	if !p.scanIsolated(m) {
+		return false
+	}
+	return p.scanWeights(m)
+}
+
+// decodeNG accepts named-graph quads s-p-o with a relationship
+// predicate; the graph term is the edge resource (§2.3 NG).
+func (p *projector) decodeNG(m store.ModelID) bool {
+	pat := store.Pattern{S: store.Any, P: store.Any, C: store.Any, G: store.Any, M: store.ID(m)}
+	if p.labelID != store.NoID {
+		pat.P = p.labelID
+	}
+	return p.drain(pat, func(q store.IDQuad) bool {
+		if q.G == store.NoID || !p.relPred(q.P) {
+			return true
+		}
+		p.addEdge(q.S, q.C, q.G)
+		return true
+	})
+}
+
+// decodeRF joins the e-rdf:subject-s / e-rdf:predicate-p /
+// e-rdf:object-o triples of the reification scheme (§2.3 RF) by their
+// statement resource.
+func (p *projector) decodeRF(m store.ModelID) bool {
+	collect := func(pred store.ID, into map[store.ID]store.ID) bool {
+		if pred == store.NoID {
+			return true
+		}
+		pat := store.Pattern{S: store.Any, P: pred, C: store.Any, G: store.Any, M: store.ID(m)}
+		return p.drain(pat, func(q store.IDQuad) bool {
+			into[q.S] = q.C
+			return true
+		})
+	}
+	if !collect(p.subjID, p.rfSubj) || !collect(p.predID, p.rfPred) || !collect(p.objID, p.rfObj) {
+		return false
+	}
+	for e, s := range p.rfSubj {
+		o, okO := p.rfObj[e]
+		lbl, okP := p.rfPred[e]
+		if !okO || !okP || !p.matchLabel(lbl) {
+			continue
+		}
+		p.addEdge(s, o, e)
+		if !p.guard.tickN(1) {
+			return false
+		}
+	}
+	return true
+}
+
+// decodeSP first maps edge predicates to labels via their
+// e-rdfs:subPropertyOf-p anchors, then accepts s-e-o triples whose
+// predicate is a known edge predicate (§2.3 SP).
+func (p *projector) decodeSP(m store.ModelID) bool {
+	if p.spoID == store.NoID {
+		return true
+	}
+	pat := store.Pattern{S: store.Any, P: p.spoID, C: store.Any, G: store.Any, M: store.ID(m)}
+	ok := p.drain(pat, func(q store.IDQuad) bool {
+		p.spLabel[q.S] = q.C
+		return true
+	})
+	if !ok || len(p.spLabel) == 0 {
+		return ok
+	}
+	all := store.Pattern{S: store.Any, P: store.Any, C: store.Any, G: store.NoID, M: store.ID(m)}
+	return p.drain(all, func(q store.IDQuad) bool {
+		lbl, isEdge := p.spLabel[q.P]
+		if !isEdge || !p.matchLabel(lbl) {
+			return true
+		}
+		p.addEdge(q.S, q.C, q.P)
+		return true
+	})
+}
+
+// scanIsolated adds the -v-rdf:type-rdf:Resource vertices, which every
+// scheme emits for vertices with no KVs and no incident edges.
+func (p *projector) scanIsolated(m store.ModelID) bool {
+	if p.typeID == store.NoID || p.resourceID == store.NoID {
+		return true
+	}
+	pat := store.Pattern{S: store.Any, P: p.typeID, C: p.resourceID, G: store.Any, M: store.ID(m)}
+	return p.drain(pat, func(q store.IDQuad) bool {
+		p.vertices[q.S] = struct{}{}
+		return true
+	})
+}
+
+// scanWeights collects -e-key-V literals for the weight key. The edge
+// resource is the subject in every scheme (in SP the same resource is
+// the edge predicate of the anchor triple).
+func (p *projector) scanWeights(m store.ModelID) bool {
+	if p.weightID == store.NoID {
+		return true
+	}
+	pat := store.Pattern{S: store.Any, P: p.weightID, C: store.Any, G: store.Any, M: store.ID(m)}
+	return p.drain(pat, func(q store.IDQuad) bool {
+		val, ok := rdf.LiteralValue(p.dict.Term(q.C))
+		if !ok || !val.IsNumeric() {
+			return true
+		}
+		p.weights[q.S] = val.Float()
+		return true
+	})
+}
+
+// drain opens a snapshot cursor for pat and consumes it
+// batch-at-a-time, ticking the guard one work unit per drained quad —
+// the projector's only row source, so every scan is a cancellation
+// point by construction (the guardtick analyzer enforces this). It
+// reports false when the guard tripped or fn aborted.
+func (p *projector) drain(pat store.Pattern, fn func(store.IDQuad) bool) bool {
+	cur := p.st.Cursor(pat)
+	defer cur.Close()
+	for {
+		batch := cur.NextBatch(store.DefaultBatchRows)
+		if len(batch) == 0 {
+			return true
+		}
+		if !p.guard.tickN(len(batch)) {
+			return false
+		}
+		for _, q := range batch {
+			if !fn(q) {
+				return false
+			}
+		}
+	}
+}
+
+// relPred reports whether predicate ID pid is a relationship IRI,
+// caching the dictionary round-trip per distinct predicate.
+func (p *projector) relPred(pid store.ID) bool {
+	if is, ok := p.isRel[pid]; ok {
+		return is
+	}
+	t := p.dict.Term(pid)
+	is := t.IsIRI() && strings.HasPrefix(t.Value, p.relNS)
+	p.isRel[pid] = is
+	return is
+}
+
+// matchLabel applies the label filter to a label predicate ID.
+func (p *projector) matchLabel(lbl store.ID) bool {
+	if p.labelID != store.NoID {
+		return lbl == p.labelID
+	}
+	return p.relPred(lbl)
+}
+
+func (p *projector) addEdge(src, dst, edge store.ID) {
+	p.vertices[src] = struct{}{}
+	p.vertices[dst] = struct{}{}
+	p.edges = append(p.edges, idEdge{src: src, dst: dst, edge: edge})
+}
+
+// assemble renumbers the vertex set into canonical term order and
+// builds the CSR.
+func (p *projector) assemble() *CSR {
+	terms := make([]rdf.Term, 0, len(p.vertices))
+	ids := make([]store.ID, 0, len(p.vertices))
+	for id := range p.vertices {
+		ids = append(ids, id)
+		terms = append(terms, p.dict.Term(id))
+	}
+	// Sort ids by their terms' canonical order, then derive the ID ->
+	// vertex-index map from the sorted positions.
+	idx := make([]int, len(ids))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return rdf.Compare(terms[idx[i]], terms[idx[j]]) < 0 })
+	sorted := make([]rdf.Term, len(ids))
+	vertexOf := make(map[store.ID]uint32, len(ids))
+	for v, i := range idx {
+		sorted[v] = terms[i]
+		vertexOf[ids[i]] = uint32(v)
+	}
+
+	weighted := p.opts.WeightKey != ""
+	raw := make([]rawEdge, len(p.edges))
+	for i, e := range p.edges {
+		re := rawEdge{src: vertexOf[e.src], dst: vertexOf[e.dst]}
+		if e.edge != store.NoID {
+			re.identified = true
+			if weighted {
+				if w, ok := p.weights[e.edge]; ok {
+					re.w = w
+				} else {
+					re.w = 1
+				}
+			}
+		}
+		raw[i] = re
+	}
+	return buildCSR(sorted, raw, weighted, p.opts.Reverse)
+}
+
+// DetectScheme sniffs which PG-as-RDF scheme a model was transformed
+// under by probing for each scheme's signature quads: rdf:subject
+// reification triples (RF), rdfs:subPropertyOf edge anchors (SP), and
+// relationship quads in named graphs (NG). Datasets holding only plain
+// s-p-o relationship triples (the SingleTripleWhenNoKVs degenerate
+// case) decode identically under every scheme; NG is reported.
+func DetectScheme(st *store.Store, model string, vocab pgrdf.Vocabulary) (pgrdf.Scheme, error) {
+	models, err := st.ResolveDataset(model)
+	if err != nil {
+		return pgrdf.NG, fmt.Errorf("graph: detect scheme: %w", err)
+	}
+	vocab = vocabOrDefault(vocab)
+	dict := st.Dict()
+	probe := func(pat store.Pattern, accept func(store.IDQuad) bool) bool {
+		found := false
+		for _, m := range models {
+			pat.M = store.ID(m)
+			//pgrdfvet:ignore guardtick -- first-match probe over one predicate's postings; stops at the first accepted quad and has no request budget to tick
+			st.Scan(pat, func(q store.IDQuad) bool {
+				if accept == nil || accept(q) {
+					found = true
+					return false
+				}
+				return true
+			})
+			if found {
+				break
+			}
+		}
+		return found
+	}
+	if id := dict.Lookup(rdf.NewIRI(rdf.RDFSubject)); id != store.NoID {
+		pat := store.Pattern{S: store.Any, P: id, C: store.Any, G: store.Any}
+		if probe(pat, nil) {
+			return pgrdf.RF, nil
+		}
+	}
+	if id := dict.Lookup(rdf.NewIRI(rdf.RDFSSubPropertyOf)); id != store.NoID {
+		pat := store.Pattern{S: store.Any, P: id, C: store.Any, G: store.Any}
+		relNS := vocab.RelNS
+		if probe(pat, func(q store.IDQuad) bool {
+			t := dict.Term(q.C)
+			return t.IsIRI() && strings.HasPrefix(t.Value, relNS)
+		}) {
+			return pgrdf.SP, nil
+		}
+	}
+	return pgrdf.NG, nil
+}

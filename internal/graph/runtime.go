@@ -1,0 +1,130 @@
+package graph
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// morselVertices is the fixed vertex-range size of one morsel. It is a
+// constant — never derived from the worker count — so the morsel
+// decomposition, and with it the order of every per-morsel
+// floating-point fold, is a function of the graph alone. That is the
+// load-bearing half of the determinism contract: results are
+// byte-identical at Parallelism 1, 4 and 8 because the same morsels
+// produce the same partials and the folds always run in morsel order.
+const morselVertices = 1024
+
+// numMorsels returns the number of fixed-size morsels covering n
+// vertices.
+func numMorsels(n int) int {
+	return (n + morselVertices - 1) / morselVertices
+}
+
+// Runner executes graph algorithms over a CSR.
+type Runner struct {
+	// Parallelism is the worker count; <= 0 means GOMAXPROCS. Results
+	// are identical at every setting.
+	Parallelism int
+	// Budget bounds each run; see Budget.
+	Budget Budget
+}
+
+func (r Runner) workers() int {
+	w := r.Parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// runMorsels executes fn over every fixed-size vertex morsel of [0, n)
+// using w workers. Workers claim morsels from a shared atomic counter
+// (the same work-stealing shape as the SPARQL morsel executor), so the
+// assignment of morsels to workers is racy — which is why fn must
+// write only per-vertex state inside its own range plus per-morsel
+// partial slots, never accumulate across morsels.
+//
+// fn reports false to abort (guard violation); the remaining morsels
+// are skipped. runMorsels reports whether every morsel completed. At
+// w == 1 the claim counter degenerates to a serial loop over the same
+// decomposition.
+func runMorsels(w, n int, g *guard, fn func(m, lo, hi int) bool) bool {
+	nm := numMorsels(n)
+	if nm == 0 {
+		return true
+	}
+	if w > nm {
+		w = nm
+	}
+	runOne := func(m int) bool {
+		if !g.poll() {
+			return false
+		}
+		lo := m * morselVertices
+		hi := lo + morselVertices
+		if hi > n {
+			hi = n
+		}
+		return fn(m, lo, hi)
+	}
+	if w <= 1 {
+		for m := 0; m < nm; m++ {
+			if !runOne(m) {
+				return false
+			}
+		}
+		return true
+	}
+
+	var next atomic.Int64
+	var stopped atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			for !stopped.Load() {
+				m := int(next.Add(1)) - 1
+				if m >= nm {
+					return
+				}
+				if !runOne(m) {
+					stopped.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return !stopped.Load()
+}
+
+// foldFloat sums per-morsel float partials in morsel order — the
+// deterministic reduction used after every parallel phase.
+func foldFloat(partials []float64) float64 {
+	s := 0.0
+	for _, p := range partials {
+		s += p
+	}
+	return s
+}
+
+// foldInt sums per-morsel integer partials.
+func foldInt(partials []int64) int64 {
+	s := int64(0)
+	for _, p := range partials {
+		s += p
+	}
+	return s
+}
+
+// foldBool ORs per-morsel changed flags.
+func foldBool(partials []bool) bool {
+	for _, p := range partials {
+		if p {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,86 @@
+package graph
+
+import (
+	"sort"
+
+	"repro/internal/rdf"
+)
+
+// Ranked pairs a vertex term with its score, the wire shape of top-k
+// results on the CLI and HTTP surfaces.
+type Ranked struct {
+	Term  string  `json:"term"`
+	Score float64 `json:"score"`
+}
+
+// TopScores returns the k highest-scoring vertices (all of them when
+// k <= 0 or k > NumVertices), ordered by descending score with ties
+// broken by the canonical term order, so the listing is deterministic.
+func TopScores(cs *CSR, scores []float64, k int) []Ranked {
+	n := cs.NumVertices()
+	idx := make([]uint32, n)
+	for v := range idx {
+		idx[v] = uint32(v)
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		a, b := idx[i], idx[j]
+		if scores[a] != scores[b] {
+			return scores[a] > scores[b]
+		}
+		return a < b
+	})
+	if k <= 0 || k > n {
+		k = n
+	}
+	out := make([]Ranked, k)
+	for i := 0; i < k; i++ {
+		out[i] = Ranked{Term: termLabel(cs.terms[idx[i]]), Score: scores[idx[i]]}
+	}
+	return out
+}
+
+// Component describes one weakly-connected component: its
+// representative vertex term and its size.
+type Component struct {
+	Term string `json:"term"`
+	Size int    `json:"size"`
+}
+
+// TopComponents returns the k largest components (all when k <= 0),
+// ordered by descending size with ties broken by the representative's
+// canonical order.
+func TopComponents(cs *CSR, res *WCCResult, k int) []Component {
+	size := make(map[uint32]int)
+	for _, lbl := range res.Labels {
+		size[lbl]++
+	}
+	reps := make([]uint32, 0, len(size))
+	for rep := range size {
+		reps = append(reps, rep)
+	}
+	sort.Slice(reps, func(i, j int) bool {
+		a, b := reps[i], reps[j]
+		if size[a] != size[b] {
+			return size[a] > size[b]
+		}
+		return a < b
+	})
+	if k <= 0 || k > len(reps) {
+		k = len(reps)
+	}
+	out := make([]Component, k)
+	for i := 0; i < k; i++ {
+		out[i] = Component{Term: termLabel(cs.terms[reps[i]]), Size: size[reps[i]]}
+	}
+	return out
+}
+
+// termLabel renders a vertex term for result listings: the bare IRI
+// string for IRIs (the overwhelmingly common case under the paper's
+// vocabulary), N-Triples syntax otherwise.
+func termLabel(t rdf.Term) string {
+	if t.IsIRI() {
+		return t.Value
+	}
+	return t.String()
+}

@@ -1,0 +1,278 @@
+package httpapi
+
+// POST /algo — the graph-analytics endpoint: projects the requested
+// model into a CSR (cached per store version) and runs PageRank, WCC
+// or triangle counting on the morsel-parallel runtime in
+// internal/graph. Requests participate in the same admission control,
+// deadlines and graceful drain as queries.
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/pgrdf"
+	"repro/internal/store"
+)
+
+// algoRequest is the POST /algo JSON body. Zero values select
+// defaults; Scheme "" or "auto" sniffs the dataset.
+type algoRequest struct {
+	Algo      string `json:"algo"`  // pagerank | wcc | triangles
+	Model     string `json:"model"` // model or virtual model; "" = all
+	Scheme    string `json:"scheme"`
+	Label     string `json:"label"`     // edge-label filter; "" = all
+	WeightKey string `json:"weightKey"` // edge property as weight
+	K         int    `json:"k"`         // top-k size; 0 = 10
+
+	// PageRank knobs (see graph.PageRankOptions).
+	Damping       float64 `json:"damping"`
+	MaxIterations int     `json:"maxIterations"`
+	Tolerance     float64 `json:"tolerance"`
+	Weighted      bool    `json:"weighted"`
+
+	// Parallelism overrides the server's worker budget for this run;
+	// 0 uses the configured default. Results are identical either way.
+	Parallelism int `json:"parallelism"`
+}
+
+// algoResponse is the POST /algo JSON reply. Exactly one of the
+// per-algorithm result groups is populated.
+type algoResponse struct {
+	Algo       string  `json:"algo"`
+	Scheme     string  `json:"scheme"`
+	Model      string  `json:"model,omitempty"`
+	Vertices   int     `json:"vertices"`
+	Edges      int     `json:"edges"`
+	CSRBuildMS float64 `json:"csrBuildMS"`
+	CSRCached  bool    `json:"csrCached"`
+	RunMS      float64 `json:"runMS"`
+
+	Iterations int               `json:"iterations,omitempty"`
+	Converged  bool              `json:"converged,omitempty"`
+	Top        []graph.Ranked    `json:"top,omitempty"`
+	Components int               `json:"components,omitempty"`
+	TopComps   []graph.Component `json:"topComponents,omitempty"`
+	Triangles  *int64            `json:"triangles,omitempty"`
+}
+
+// algoNames orders the algorithms for the per-algo counter arrays.
+var algoNames = []string{"pagerank", "wcc", "triangles"}
+
+func algoIndex(name string) int {
+	for i, n := range algoNames {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// algoStats are the /algo counters exported on /stats and /metrics.
+type algoStats struct {
+	runs        [3]atomic.Int64
+	errors      [3]atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+}
+
+// csrCache memoizes the most recent projection per server. A single
+// entry is enough for the dashboard/bench access pattern — repeated
+// runs of different algorithms over the same projection — and keeps
+// invalidation trivial: the entry is dropped whenever the store
+// pointer or its mutation version moves on.
+type csrCache struct {
+	mu sync.Mutex
+	//pgrdf:guardedby mu
+	key string
+	//pgrdf:guardedby mu
+	st *store.Store
+	//pgrdf:guardedby mu
+	version uint64
+	//pgrdf:guardedby mu
+	cs *graph.CSR
+}
+
+// lookup returns the cached CSR when the key, store identity and store
+// version all match.
+func (c *csrCache) lookup(key string, st *store.Store, version uint64) *graph.CSR {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cs != nil && c.key == key && c.st == st && c.version == version {
+		return c.cs
+	}
+	return nil
+}
+
+func (c *csrCache) put(key string, st *store.Store, version uint64, cs *graph.CSR) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.key, c.st, c.version, c.cs = key, st, version, cs
+}
+
+func (s *Server) handleAlgo(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSONError(w, http.StatusMethodNotAllowed, "method", "method not allowed")
+		return
+	}
+	body, err := s.readBody(r)
+	if err != nil {
+		bodyError(w, err)
+		return
+	}
+	req := algoRequest{K: 10, Tolerance: 0}
+	if strings.TrimSpace(body) != "" {
+		if err := json.Unmarshal([]byte(body), &req); err != nil {
+			writeJSONError(w, http.StatusBadRequest, "request", "invalid JSON body: "+err.Error())
+			return
+		}
+	}
+	ai := algoIndex(req.Algo)
+	if ai < 0 {
+		writeJSONError(w, http.StatusBadRequest, "request",
+			"unknown algo (want pagerank, wcc or triangles)")
+		return
+	}
+
+	if s.rejectStale(w) {
+		return
+	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := requestCtx(r, s.cfg.QueryTimeout)
+	defer cancel()
+
+	st := s.engine().Store()
+	scheme, err := resolveScheme(st, req.Model, req.Scheme)
+	if err != nil {
+		s.algo.errors[ai].Add(1)
+		algoError(w, err)
+		return
+	}
+
+	// The projection and the run share the query budget: MaxBindings
+	// caps total work units (quads drained + vertex/edge touches).
+	budget := graph.Budget{MaxWork: int64(max(s.cfg.MaxBindings, 0))}
+
+	resp := algoResponse{Algo: req.Algo, Scheme: scheme.String(), Model: req.Model}
+	key := req.Model + "\x00" + scheme.String() + "\x00" + req.Label + "\x00" + req.WeightKey
+	version := st.Version()
+	cs := s.algoCSR.lookup(key, st, version)
+	if cs != nil {
+		s.algo.cacheHits.Add(1)
+		resp.CSRCached = true
+	} else {
+		s.algo.cacheMisses.Add(1)
+		start := time.Now()
+		cs, err = graph.Project(ctx, st, graph.ProjectOptions{
+			Model:     req.Model,
+			Scheme:    scheme,
+			Label:     req.Label,
+			WeightKey: req.WeightKey,
+			Reverse:   true,
+		}, budget)
+		if err != nil {
+			s.algo.errors[ai].Add(1)
+			algoError(w, err)
+			return
+		}
+		resp.CSRBuildMS = float64(time.Since(start).Microseconds()) / 1000
+		s.algoCSR.put(key, st, version, cs)
+	}
+	resp.Vertices = cs.NumVertices()
+	resp.Edges = cs.NumEdges()
+
+	par := req.Parallelism
+	if par == 0 {
+		par = s.cfg.Parallelism
+	}
+	if par < 0 {
+		par = 1
+	}
+	runner := graph.Runner{Parallelism: par, Budget: budget}
+	start := time.Now()
+	switch req.Algo {
+	case "pagerank":
+		res, err := runner.PageRank(ctx, cs, graph.PageRankOptions{
+			Damping:       req.Damping,
+			MaxIterations: req.MaxIterations,
+			Tolerance:     req.Tolerance,
+			Weighted:      req.Weighted,
+		})
+		if err != nil {
+			s.algo.errors[ai].Add(1)
+			algoError(w, err)
+			return
+		}
+		resp.Iterations = res.Iterations
+		resp.Converged = res.Converged
+		resp.Top = graph.TopScores(cs, res.Scores, req.K)
+	case "wcc":
+		res, err := runner.WCC(ctx, cs)
+		if err != nil {
+			s.algo.errors[ai].Add(1)
+			algoError(w, err)
+			return
+		}
+		resp.Iterations = res.Iterations
+		resp.Components = res.Components
+		resp.TopComps = graph.TopComponents(cs, res, req.K)
+	case "triangles":
+		res, err := runner.Triangles(ctx, cs)
+		if err != nil {
+			s.algo.errors[ai].Add(1)
+			algoError(w, err)
+			return
+		}
+		resp.Triangles = &res.Count
+	}
+	resp.RunMS = float64(time.Since(start).Microseconds()) / 1000
+	s.algo.runs[ai].Add(1)
+
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// resolveScheme parses the request's scheme name, sniffing the dataset
+// for "" / "auto".
+func resolveScheme(st *store.Store, model, name string) (pgrdf.Scheme, error) {
+	switch strings.ToUpper(strings.TrimSpace(name)) {
+	case "", "AUTO":
+		return graph.DetectScheme(st, model, pgrdf.Vocabulary{})
+	case "RF":
+		return pgrdf.RF, nil
+	case "NG":
+		return pgrdf.NG, nil
+	case "SP":
+		return pgrdf.SP, nil
+	default:
+		return pgrdf.NG, errors.New("unknown scheme (want RF, NG, SP or auto)")
+	}
+}
+
+// algoError maps a graph-layer error onto an HTTP status + JSON body,
+// mirroring queryError's mapping for the query path.
+func algoError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, graph.ErrTimeout):
+		writeJSONError(w, http.StatusGatewayTimeout, "timeout", err.Error())
+	case errors.Is(err, graph.ErrBudgetExceeded):
+		writeJSONError(w, http.StatusBadRequest, "budget-exceeded", err.Error())
+	case errors.Is(err, graph.ErrCanceled):
+		writeJSONError(w, http.StatusRequestTimeout, "canceled", err.Error())
+	case strings.Contains(err.Error(), "unknown model"):
+		writeJSONError(w, http.StatusNotFound, "unknown-model", err.Error())
+	case strings.Contains(err.Error(), "unknown scheme"):
+		writeJSONError(w, http.StatusBadRequest, "request", err.Error())
+	default:
+		writeJSONError(w, http.StatusInternalServerError, "internal", err.Error())
+	}
+}

@@ -102,6 +102,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.counter("pgrdf_parallel_hash_builds_total", "Partitioned hash-table builds.", snap.Parallel.HashBuilds)
 	m.gauge("pgrdf_active_workers", "Live parallel worker goroutines (leak gauge).", snap.Parallel.ActiveWorkers)
 
+	// Graph analytics (POST /algo).
+	m.family("pgrdf_algo_runs_total", "Graph-algorithm runs completed, by algorithm.", "counter")
+	for i, name := range algoNames {
+		m.sample("pgrdf_algo_runs_total", fmt.Sprintf("%d", s.algo.runs[i].Load()), "algo", name)
+	}
+	m.family("pgrdf_algo_errors_total", "Graph-algorithm runs that returned an error, by algorithm.", "counter")
+	for i, name := range algoNames {
+		m.sample("pgrdf_algo_errors_total", fmt.Sprintf("%d", s.algo.errors[i].Load()), "algo", name)
+	}
+	m.counter("pgrdf_algo_csr_cache_hits_total", "Algo requests served from the cached CSR projection.", s.algo.cacheHits.Load())
+	m.counter("pgrdf_algo_csr_cache_misses_total", "Algo requests that rebuilt the CSR projection.", s.algo.cacheMisses.Load())
+
 	// Admission control.
 	m.counter("pgrdf_requests_shed_total", "Requests shed with 503 by admission control.", s.shedCount.Load())
 

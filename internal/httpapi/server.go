@@ -214,6 +214,9 @@ func (a *admission) close() {
 //	                                     or application/x-www-form-urlencoded)
 //	POST /update                       — update via form or raw body
 //	                                     (application/sparql-update)
+//	POST /algo                         — graph analytics (JSON body:
+//	                                     pagerank, wcc or triangles over a
+//	                                     projected model; see algoRequest)
 //	GET  /stats                        — dataset statistics (JSON)
 //	GET  /export?model=...             — stream one model as N-Quads
 //	GET  /metrics                      — Prometheus text exposition
@@ -248,6 +251,10 @@ type Server struct {
 	// follower, when attached, adds replication lag to /stats and
 	// /metrics and optionally fails stale reads with 503.
 	follower *repl.Follower
+	// algo counts POST /algo runs and errors; algoCSR memoizes the most
+	// recent graph projection per store version.
+	algo    algoStats
+	algoCSR csrCache
 }
 
 // NewServer builds a handler over the store with DefaultConfig.
@@ -271,6 +278,7 @@ func NewServerWithConfig(st *store.Store, cfg Config) *Server {
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/export", s.handleExport)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/algo", s.handleAlgo)
 	s.mux.HandleFunc("/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("/wal", s.handleWalTail)
 	if cfg.EnablePprof {
@@ -627,6 +635,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		`"parallelism":%d,"parallelQueries":%d,"parallelWorkers":%d,"parallelMorsels":%d,"parallelHashBuilds":%d,"activeWorkers":%d`,
 		st.Quads, st.Subjects, st.Predicates, st.Objects, st.NamedGraphs, rep.Total, eng.Store().OpenCursors(),
 		par, ps.Queries, ps.Workers, ps.Morsels, ps.HashBuilds, ps.ActiveWorkers)
+	var algoRuns, algoErrors int64
+	for i := range algoNames {
+		algoRuns += s.algo.runs[i].Load()
+		algoErrors += s.algo.errors[i].Load()
+	}
+	fmt.Fprintf(w, `,"algoRuns":%d,"algoErrors":%d,"algoCSRCacheHits":%d,"algoCSRCacheMisses":%d`,
+		algoRuns, algoErrors, s.algo.cacheHits.Load(), s.algo.cacheMisses.Load())
 	if s.wal != nil {
 		ws := s.wal.Stats()
 		fmt.Fprintf(w, `,"walBytes":%d,"walRecords":%d,"walSeq":%d,"checkpoints":%d,"checkpointErrors":%d,`+
